@@ -1,0 +1,133 @@
+"""Ablation benches for §1's remaining configuration dimensions:
+custom instructions ("specialized hardware to accelerate frequently used
+instructions or instruction sequences / new instructions to the SPARC
+base instruction set") and the multiplier option.
+"""
+
+import pytest
+
+from repro.core import (
+    ArchitectureConfig,
+    LiquidProcessorSystem,
+    POPCOUNT_RECIPE,
+    SynthesisModel,
+)
+
+from .conftest import print_table
+
+POPCOUNT_SOURCE = """
+int popcount_xor(int a, int b) {
+    int value = a ^ b;
+    int count = 0;
+    while (value) {
+        count += value & 1;
+        value = (value >> 1) & 0x7FFFFFFF;
+    }
+    return count;
+}
+
+int data[64];
+
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 64; i++) data[i] = i * 2654435761;
+    for (int i = 0; i + 1 < 64; i++)
+        total += popcount_xor(data[i], data[i + 1]);
+    return total;
+}
+"""
+
+MULTIPLY_SOURCE = """
+int main(void) {
+    int acc = 1;
+    for (int i = 1; i < 500; i++) {
+        acc = acc * i + i;
+    }
+    return acc & 0x7FFFFFFF;
+}
+"""
+
+
+class TestCustomInstructionAblation:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        software = LiquidProcessorSystem().run_c(POPCOUNT_SOURCE)
+        rewritten, hits = POPCOUNT_RECIPE.rewrite_c(POPCOUNT_SOURCE)
+        assert hits == 1
+        config = POPCOUNT_RECIPE.apply_to_config(ArchitectureConfig())
+        accelerated = LiquidProcessorSystem(config).run_c(rewritten)
+        return software, accelerated, config
+
+    def test_accelerated_run_benchmark(self, benchmark, runs):
+        software, accelerated, config = runs
+        rewritten, _ = POPCOUNT_RECIPE.rewrite_c(POPCOUNT_SOURCE)
+        cycles = benchmark.pedantic(
+            lambda: LiquidProcessorSystem(config).run_c(rewritten).cycles,
+            rounds=1, iterations=1)
+        benchmark.extra_info["software_cycles"] = software.cycles
+        benchmark.extra_info["accelerated_cycles"] = accelerated.cycles
+
+    def test_speedup_and_area_tradeoff(self, benchmark, runs):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        software, accelerated, config = runs
+        model = SynthesisModel()
+        base_slices = model.estimate(ArchitectureConfig()).slices
+        ext_slices = model.estimate(config).slices
+
+        speedup = software.cycles / accelerated.cycles
+        print_table(
+            "Ablation: popcount custom instruction",
+            ["Variant", "Cycles", "Result", "Slices"],
+            [["software loop", software.cycles, software.result,
+              base_slices],
+             ["custom popc insn", accelerated.cycles, accelerated.result,
+              ext_slices]])
+        print(f"\nspeedup {speedup:.2f}x for "
+              f"{ext_slices - base_slices} extra slices")
+
+        assert accelerated.result == software.result
+        assert speedup > 3.0
+        assert ext_slices > base_slices
+
+
+class TestMultiplierAblation:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        results = {}
+        for multiplier in ("iterative", "16x16", "32x32"):
+            system = LiquidProcessorSystem(
+                ArchitectureConfig(multiplier=multiplier))
+            run = system.run_c(MULTIPLY_SOURCE)
+            utilization = system.bitfile.utilization
+            results[multiplier] = (run, utilization)
+        return results
+
+    def test_multiplier_benchmark(self, benchmark, runs):
+        benchmark.pedantic(
+            lambda: LiquidProcessorSystem(
+                ArchitectureConfig(multiplier="16x16")
+            ).run_c(MULTIPLY_SOURCE).cycles,
+            rounds=1, iterations=1)
+        for name, (run, _) in runs.items():
+            benchmark.extra_info[f"cycles_{name}"] = run.cycles
+
+    def test_multiplier_tradeoff_table(self, benchmark, runs):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for name, (run, utilization) in runs.items():
+            rows.append([name, run.cycles, utilization.slices,
+                         f"{utilization.frequency_mhz:.1f} MHz",
+                         f"{run.seconds * 1e3:.3f} ms"])
+        print_table("Ablation: multiplier option on a multiply-heavy "
+                    "kernel", ["Multiplier", "Cycles", "Slices", "Clock",
+                               "Model time"], rows)
+
+        cycles = {name: run.cycles for name, (run, _) in runs.items()}
+        # All three compute the same answer.
+        results = {run.result for run, _ in runs.values()}
+        assert len(results) == 1
+        # Faster multipliers strictly reduce cycle counts.
+        assert cycles["32x32"] < cycles["16x16"] < cycles["iterative"]
+        # But area grows: the liquid trade-off.
+        slices = {name: u.slices for name, (_, u) in runs.items()}
+        assert slices["32x32"] > slices["16x16"] > slices["iterative"]

@@ -1,0 +1,65 @@
+"""Experiment E2 — Figure 9: the Figure 8 data in graphical form.
+
+"Figure 9 illustrates the data shown in Figure 8 in graphical form.
+This clearly shows that there are no cache misses (excluding the initial
+loading of the cache) once the cache size reaches 4KB."
+
+This bench emits the (cache size, average running time) series and an
+ASCII rendering of the figure.  "Average" is taken over repeated runs of
+the same program, as the paper did; the model is deterministic, and the
+bench verifies that (zero variance), which is itself a property the
+hardware counter showed.
+"""
+
+import pytest
+
+from repro.core import ArchitectureConfig
+
+from .conftest import print_table, run_on_config
+
+CACHE_SIZES = [1024, 2048, 4096, 8192, 16384]
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def series(fig7_image):
+    points = []
+    for size in CACHE_SIZES:
+        config = ArchitectureConfig().with_dcache_size(size)
+        runs = [run_on_config(fig7_image, config)[0]
+                for _ in range(REPEATS)]
+        points.append((size, sum(runs) / len(runs), min(runs), max(runs)))
+    return points
+
+
+def test_fig9_series_benchmark(benchmark, fig7_image, series):
+    config = ArchitectureConfig().with_dcache_size(4096)
+    benchmark.pedantic(run_on_config, args=(fig7_image, config),
+                       rounds=1, iterations=1)
+    benchmark.extra_info["series"] = [
+        {"cache_bytes": size, "avg_cycles": avg}
+        for size, avg, _, _ in series
+    ]
+
+
+def test_fig9_plot_and_determinism(benchmark, series):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [[f"{size // 1024}KB", f"{avg:.0f}"] for size, avg, _, _ in series]
+    print_table("Figure 9 series: average running time vs cache size",
+                ["Cache size", "Avg cycles"], rows)
+
+    # ASCII plot of the figure.
+    peak = max(avg for _, avg, _, _ in series)
+    print("\nFigure 9 (ASCII):")
+    for size, avg, _, _ in series:
+        bar = "#" * int(40 * avg / peak)
+        print(f"  {size // 1024:>3} KB | {bar} {avg:.0f}")
+
+    # Repeated runs are cycle-identical (hardware-counter determinism).
+    for size, avg, low, high in series:
+        assert low == high == avg
+
+    # Monotone non-increasing with a strict knee at 4 KB.
+    averages = [avg for _, avg, _, _ in series]
+    assert all(a >= b for a, b in zip(averages, averages[1:]))
+    assert averages[1] > averages[2]

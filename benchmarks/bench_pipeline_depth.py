@@ -1,0 +1,123 @@
+"""Ablation: "modifiable pipeline depth" (the first dimension §1 names).
+
+Depth changes two opposing things: a deeper pipeline clocks faster (the
+synthesis model's critical-path factor) but pays bubbles on taken
+control transfers; a shallower pipeline clocks slower but has no
+load-use interlock.  Whether 3, 5 or 7 stages is *fastest in seconds*
+therefore depends on the application's instruction mix — exactly the
+application-specific trade the liquid-architecture loop optimizes.
+"""
+
+import pytest
+
+from repro.core import ArchitectureConfig, SynthesisModel, simulate
+from repro.toolchain.driver import compile_c_program
+
+from .conftest import print_table
+
+DEPTHS = [3, 5, 7]
+
+KERNELS = {
+    "branchy (LFSR decisions)": """
+int main(void) {
+    unsigned lfsr = 0xACE1;
+    int count = 0;
+    for (int i = 0; i < 4000; i++) {
+        if (lfsr & 1) { count++; lfsr = (lfsr >> 1) ^ 0xB400; }
+        else { count--; lfsr = lfsr >> 1; }
+        if (count & 4) count += 2;
+    }
+    return count;
+}
+""",
+    "straight-line (hash mixing)": """
+int main(void) {
+    unsigned a = 1, b = 2, c = 3, d = 4;
+    for (int i = 0; i < 800; i++) {
+        a = a * 3 + 1; b = b * 5 + 2; c = c * 7 + 3; d = d * 9 + 4;
+        a = a ^ (b >> 3); b = b ^ (c >> 5); c = c ^ (d >> 7);
+        d = d ^ (a >> 2);
+        a = a + b; b = b + c; c = c + d; d = d + a;
+    }
+    return (int)((a + b + c + d) & 0x7FFFFFFF);
+}
+""",
+    "pointer-chasing (load-use)": """
+int chain[512];
+int main(void) {
+    for (int i = 0; i < 512; i++) chain[i] = (i * 7 + 1) % 512;
+    int index = 0;
+    for (int hop = 0; hop < 4000; hop++) {
+        index = chain[index];      /* load feeds the next address */
+    }
+    return index;
+}
+""",
+}
+
+
+@pytest.fixture(scope="module")
+def depth_matrix():
+    model = SynthesisModel()
+    matrix = {}
+    for kernel_name, source in KERNELS.items():
+        image = compile_c_program(source)
+        for depth in DEPTHS:
+            config = ArchitectureConfig(pipeline_depth=depth)
+            report = simulate(image, config)
+            mhz = model.estimate(config).frequency_mhz
+            matrix[(kernel_name, depth)] = (
+                report.cycles, mhz, report.cycles / (mhz * 1e6),
+                report.result_word)
+    return matrix
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_pipeline_depth_benchmark(benchmark, depth, depth_matrix):
+    image = compile_c_program(KERNELS["branchy (LFSR decisions)"])
+    config = ArchitectureConfig(pipeline_depth=depth)
+    report = benchmark.pedantic(lambda: simulate(image, config),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["model_cycles"] = report.cycles
+
+
+def test_pipeline_depth_table(benchmark, depth_matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for kernel_name in KERNELS:
+        for depth in DEPTHS:
+            cycles, mhz, seconds, _ = depth_matrix[(kernel_name, depth)]
+            best = min(depth_matrix[(kernel_name, d)][2] for d in DEPTHS)
+            marker = " <- best" if seconds == best else ""
+            rows.append([kernel_name if depth == DEPTHS[0] else "",
+                         f"{depth}-stage", cycles, f"{mhz:.1f} MHz",
+                         f"{seconds * 1e6:.1f} us{marker}"])
+    print_table("Ablation: pipeline depth (cycles vs clock trade)",
+                ["Kernel", "Pipeline", "Cycles", "Clock", "Model time"],
+                rows)
+
+    # Results identical across depths for each kernel.
+    for kernel_name in KERNELS:
+        results = {depth_matrix[(kernel_name, d)][3] for d in DEPTHS}
+        assert len(results) == 1, kernel_name
+
+    def seconds(kernel, depth):
+        return depth_matrix[(kernel, depth)][2]
+
+    def cycles(kernel, depth):
+        return depth_matrix[(kernel, depth)][0]
+
+    # Cycle counts: deeper pipeline never wins cycles, shallower never
+    # loses them (fewer hazards).
+    for kernel_name in KERNELS:
+        assert cycles(kernel_name, 7) >= cycles(kernel_name, 5)
+        assert cycles(kernel_name, 3) <= cycles(kernel_name, 5)
+    # The crossover: the straight-line kernel prefers the deep
+    # pipeline's clock, the branchy kernel prefers the 5-stage —
+    # no single depth is best for every application, which is the
+    # reason this dimension is liquid at all.
+    assert seconds("straight-line (hash mixing)", 7) < \
+        seconds("straight-line (hash mixing)", 5)
+    assert seconds("branchy (LFSR decisions)", 5) < \
+        seconds("branchy (LFSR decisions)", 7)

@@ -1,0 +1,90 @@
+"""Experiment E6 (Figure 1, right loop): reconfiguration-cache economics.
+
+"Each such instance requires ~1 hour to synthesize, and the results are
+captured in the reconfiguration cache.  At runtime, an application can
+switch between these pre-generated modules to improve performance."
+
+The bench runs the Figure 8 sweep through the reconfiguration server
+twice: a cold pass (synthesis per point) and a warm pass (cache hits,
+SelectMap programming only), and reports the model-time ledger — the
+quantitative version of the paper's pre-generation argument.
+"""
+
+import pytest
+
+from repro.core import ConfigurationSpace, Job, ReconfigurationServer
+from repro.toolchain.driver import compile_c_program
+
+from .conftest import print_table
+
+PROGRAM = "int main(void) { return 7; }"
+
+
+@pytest.fixture(scope="module")
+def sweep_ledger():
+    server = ReconfigurationServer()
+    image = compile_c_program(PROGRAM)
+    space = ConfigurationSpace.paper_cache_sweep()
+
+    cold = []
+    for config in space:
+        result = server.run_job(Job(image=image, config=config,
+                                    name=f"cold-{config.dcache.size}"))
+        cold.append(result)
+    warm = []
+    for config in space:
+        result = server.run_job(Job(image=image, config=config,
+                                    name=f"warm-{config.dcache.size}"))
+        warm.append(result)
+    return server, cold, warm
+
+
+def test_cold_sweep_benchmark(benchmark):
+    image = compile_c_program(PROGRAM)
+
+    def cold_pass():
+        server = ReconfigurationServer()
+        for config in ConfigurationSpace.paper_cache_sweep():
+            server.run_job(Job(image=image, config=config))
+        return server.ledger()
+
+    ledger = benchmark.pedantic(cold_pass, rounds=1, iterations=1)
+    benchmark.extra_info["model_seconds"] = ledger["model_seconds"]
+    benchmark.extra_info["syntheses"] = ledger["cache"]["misses"]
+    assert ledger["cache"]["misses"] == 5
+
+
+def test_recon_cache_economics(benchmark, sweep_ledger):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    server, cold, warm = sweep_ledger
+
+    rows = []
+    for before, after in zip(cold, warm):
+        rows.append([
+            before.config_key.split("-")[1],
+            f"{before.seconds_synthesis:.0f} s",
+            f"{before.seconds_programming * 1000:.1f} ms",
+            f"{after.seconds_synthesis:.0f} s",
+            f"{after.seconds_programming * 1000:.1f} ms",
+        ])
+    print_table("E6: per-configuration model time, cold vs warm cache",
+                ["dcache", "cold synth", "cold program",
+                 "warm synth", "warm program"], rows)
+
+    ledger = server.ledger()
+    print(f"\ntotal synthesis paid : {ledger['cache']['synthesis_seconds']:.0f} s"
+          f"\ntotal synthesis saved: {ledger['cache']['seconds_saved']:.0f} s"
+          f"\nhit rate             : {server.cache.stats.hit_rate:.0%}")
+
+    # Warm switches never synthesize.
+    assert all(result.seconds_synthesis == 0.0 for result in warm)
+    assert all(result.cache_hit for result in warm)
+    # The asymmetry is the paper's point: hours vs milliseconds.
+    cold_total = sum(result.seconds_synthesis for result in cold)
+    warm_total = sum(result.seconds_programming for result in warm)
+    assert cold_total > 10_000 * warm_total
+
+    # The execution itself is identical either way.
+    for before, after in zip(cold, warm):
+        assert before.cycles == after.cycles
+        assert before.result_word == after.result_word == 7

@@ -1,0 +1,111 @@
+"""Experiment E5 (system claim, §1/§2): remote load/execute round trips.
+
+The platform's reason to exist is that it "can be instantiated,
+configured, and executed via the Internet".  This bench measures the
+command-protocol cost of that claim: packets and transmissions per
+program load over a clean LAN and over a lossy Internet-like channel,
+and the end-to-end status→load→start→run→read round trip.
+"""
+
+import pytest
+
+from repro.control import DirectTransport, LiquidClient, LossyTransport
+from repro.fpx import FPXPlatform
+from repro.mem.memmap import DEFAULT_MAP
+from repro.net.channel import ChannelConfig
+from repro.toolchain.driver import compile_c_program
+
+from .conftest import print_table
+
+PROGRAM = """
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 100; i++) total += i;
+    return total;
+}
+"""
+
+
+def fresh_direct():
+    platform = FPXPlatform()
+    platform.boot()
+    transport = DirectTransport(platform, platform.config.device_ip,
+                                platform.config.control_port)
+    return platform, transport, LiquidClient(transport)
+
+
+def fresh_lossy(loss, reorder, seed=99):
+    platform = FPXPlatform()
+    platform.boot()
+    transport = LossyTransport(
+        platform, platform.config.device_ip, platform.config.control_port,
+        channel_config=ChannelConfig(loss=loss, reorder=reorder), seed=seed)
+    return platform, transport, LiquidClient(transport)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_c_program(PROGRAM)
+
+
+def test_direct_roundtrip(benchmark, image):
+    platform, transport, client = fresh_direct()
+
+    def flow():
+        return client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    benchmark.extra_info["model_cycles"] = result.cycles
+    benchmark.extra_info["payloads_sent"] = transport.sent_payloads
+    assert result.result_word == sum(range(100))
+
+
+@pytest.mark.parametrize("loss", [0.0, 0.1, 0.3])
+def test_lossy_roundtrip(benchmark, image, loss):
+    platform, transport, client = fresh_lossy(loss, reorder=0.2)
+
+    def flow():
+        return client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    benchmark.extra_info["loss"] = loss
+    benchmark.extra_info["payloads_sent"] = transport.sent_payloads
+    assert result.result_word == sum(range(100))
+
+
+def test_transmission_overhead_table(benchmark, image):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    base, blob = image.flatten()
+    minimum_chunks = -(-len(blob) // 128)
+    for loss in (0.0, 0.1, 0.3):
+        platform, transport, client = fresh_lossy(loss, reorder=0.2)
+        client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+        rows.append([f"{loss:.0%}", transport.sent_payloads,
+                     transport.received_payloads])
+    print_table(
+        f"E5: transmissions per full round trip "
+        f"({len(blob)} B program = {minimum_chunks} chunks minimum)",
+        ["Loss rate", "Payloads sent", "Responses received"], rows)
+    # More loss costs more transmissions, never correctness.
+    assert rows[0][1] <= rows[2][1]
+
+
+def test_program_reload_cheaper_than_first_load(benchmark, image):
+    """Re-executing a loaded program (paper §3.1) needs just one START."""
+    platform, transport, client = fresh_direct()
+    client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+    sent_before = transport.sent_payloads
+
+    def rerun():
+        client.start()
+        transport.run_device_program()
+        return client.status()
+
+    status = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    resent = transport.sent_payloads - sent_before
+    benchmark.extra_info["payloads_for_rerun"] = resent
+    print(f"\nE5b: re-execution needed {resent} payloads "
+          f"(first run needed {sent_before})")
+    assert status.cycles > 0
+    assert resent < sent_before / 2

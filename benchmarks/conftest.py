@@ -1,0 +1,66 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md §4 for the experiment index).  The quantity of record is
+*model cycles* (what the paper's hardware counter reports), captured into
+``benchmark.extra_info``; pytest-benchmark's wall-clock numbers measure
+the simulator itself.  Each bench also prints the paper-shaped rows so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ArchitectureConfig, LiquidProcessorSystem
+from repro.toolchain.driver import compile_c_program
+
+#: The paper's Figure 7 kernel, verbatim in spirit: a strided sweep over a
+#: 4 KB array.  The loop bound is configurable; the OCR of the paper lost
+#: the exact constant, so we use 100 000 (≈3 100 iterations), which gives
+#: stable averages in seconds of host time.
+FIGURE7_SOURCE = r"""
+unsigned count[1024];
+
+int main(void) {
+    unsigned i;
+    unsigned address;
+    volatile unsigned x;
+    for (i = 0; i < %d; i = i + 32) {
+        address = i %% 1024;
+        x = count[address];
+    }
+    return 0;
+}
+"""
+
+FIGURE7_ITERATIONS = 100_000
+
+
+def figure7_image(iterations: int = FIGURE7_ITERATIONS):
+    return compile_c_program(FIGURE7_SOURCE % iterations)
+
+
+def run_on_config(image, config: ArchitectureConfig,
+                  max_instructions: int = 20_000_000) -> tuple[int, float]:
+    """Execute *image* on a fresh system with *config*; returns
+    (cycles, model_seconds)."""
+    system = LiquidProcessorSystem(config)
+    run = system.run_image(image, max_instructions=max_instructions)
+    assert run.state == "DONE", f"run ended {run.state}"
+    return run.cycles, run.seconds
+
+
+@pytest.fixture(scope="session")
+def fig7_image():
+    return figure7_image()
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

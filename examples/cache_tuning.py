@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The Figure 1 loop, end to end: run instrumented, analyze the trace,
+let the architecture generator pick a cache, reconfigure through the
+reconfiguration server, and show the Figure 8/9 result.
+
+    python examples/cache_tuning.py
+"""
+
+from repro.analysis.trace import TraceRecorder
+from repro.core import (
+    ArchitectureConfig,
+    ConfigurationSpace,
+    Job,
+    LiquidProcessorSystem,
+    ReconfigurationServer,
+    TraceAnalyzer,
+)
+
+# The paper's Figure 7 kernel: strided access over a 4 KB array.
+KERNEL = """
+unsigned count[1024];
+
+int main(void) {
+    unsigned i;
+    unsigned address;
+    volatile unsigned x;
+    for (i = 0; i < 100000; i = i + 32) {
+        address = i % 1024;
+        x = count[address];
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # --- 1. Instrumented run on a deliberately small cache -------------
+    poor = ArchitectureConfig().with_dcache_size(1024)
+    system = LiquidProcessorSystem(poor)
+    recorder = TraceRecorder().attach(system.platform.dcache)
+    image = system.compile_c(KERNEL)
+    baseline = system.run_image(image)
+    print(f"baseline (1KB dcache): {baseline.cycles} cycles")
+
+    # --- 2. Trace analysis ---------------------------------------------
+    analyzer = TraceAnalyzer(candidate_sizes=[1024, 2048, 4096, 8192, 16384])
+    report = analyzer.analyze(recorder.trace())
+    print("\ntrace analyzer report:")
+    for line in report.summary_lines():
+        print(" ", line)
+
+    # --- 3. Reconfigure and rerun through the server ---------------------
+    tuned_config = analyzer.pick_config(poor, report)
+    server = ReconfigurationServer()
+    result = server.run_job(Job(image=image, config=tuned_config,
+                                name="tuned"))
+    print(f"\ntuned ({tuned_config.dcache.size // 1024}KB dcache): "
+          f"{result.cycles} cycles "
+          f"({baseline.cycles / result.cycles:.2f}x faster)")
+    print(f"paid once: {result.seconds_synthesis / 3600:.2f} h synthesis, "
+          f"{result.seconds_programming * 1e3:.1f} ms SelectMap programming")
+
+    # --- 4. The full Figure 8 sweep, now cheap via the recon cache -------
+    print("\nFigure 8 sweep (cycles by D-cache size):")
+    for config in ConfigurationSpace.paper_cache_sweep():
+        job = server.run_job(Job(image=image, config=config, name="sweep"))
+        marker = " <- knee" if config.dcache.size == 4096 else ""
+        cached = "cache hit" if job.cache_hit else \
+            f"synthesized {job.seconds_synthesis / 3600:.2f} h"
+        print(f"  {config.dcache.size // 1024:>3} KB : {job.cycles:>8} "
+              f"cycles  ({cached}){marker}")
+
+    print("\nreconfiguration ledger:", server.ledger())
+    assert result.cycles < baseline.cycles
+
+
+if __name__ == "__main__":
+    main()

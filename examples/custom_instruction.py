@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Custom-instruction extension: the paper's "new instructions to the
+SPARC base instruction set" dimension, end to end.
+
+A rewrite recipe bundles (1) the CPop1 opcode + simulator semantics,
+(2) the source rewrite targeting it, and (3) the synthesis-area cost.
+This example accelerates a popcount-of-XOR kernel (a Hamming-distance
+primitive) and shows the cycles-vs-slices trade.
+
+    python examples/custom_instruction.py
+"""
+
+from repro.core import (
+    ArchitectureConfig,
+    LiquidProcessorSystem,
+    POPCOUNT_RECIPE,
+    SynthesisModel,
+)
+
+SOURCE = """
+/* Hamming distance over neighbouring words of a generated table. */
+int popcount_xor(int a, int b) {
+    int value = a ^ b;
+    int count = 0;
+    while (value) {
+        count += value & 1;
+        value = (value >> 1) & 0x7FFFFFFF;
+    }
+    return count;
+}
+
+int data[64];
+
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 64; i++) data[i] = i * 2654435761;
+    for (int i = 0; i + 1 < 64; i++)
+        total += popcount_xor(data[i], data[i + 1]);
+    return total;
+}
+"""
+
+
+def main() -> None:
+    # ---- software baseline on the stock LEON ---------------------------
+    stock = LiquidProcessorSystem()
+    software = stock.run_c(SOURCE)
+    print(f"software popcount loop : {software.cycles:>7} cycles, "
+          f"result {software.result}")
+
+    # ---- apply the rewrite recipe ---------------------------------------
+    rewritten, substitutions = POPCOUNT_RECIPE.rewrite_c(SOURCE)
+    print(f"\nrewrite recipe replaced {substitutions} call site(s) with "
+          f"__builtin_custom({POPCOUNT_RECIPE.extension.opf}, ...)")
+
+    config = POPCOUNT_RECIPE.apply_to_config(ArchitectureConfig())
+    liquid = LiquidProcessorSystem(config)   # semantics auto-installed
+    accelerated = liquid.run_c(rewritten)
+    print(f"custom 'popc' datapath : {accelerated.cycles:>7} cycles, "
+          f"result {accelerated.result}")
+
+    assert accelerated.result == software.result
+    speedup = software.cycles / accelerated.cycles
+    print(f"\nspeedup: {speedup:.2f}x")
+
+    # ---- what it costs in silicon ---------------------------------------
+    model = SynthesisModel()
+    base_area = model.estimate(ArchitectureConfig())
+    ext_area = model.estimate(config)
+    print(f"area: {base_area.slices} -> {ext_area.slices} slices "
+          f"(+{ext_area.slices - base_area.slices} for the accelerator)")
+    print(f"clock: {base_area.frequency_mhz:.1f} -> "
+          f"{ext_area.frequency_mhz:.1f} MHz")
+
+    # The generated SPARC now contains the custom instruction:
+    asm = __import__("repro.toolchain.cc", fromlist=["compile_c"]) \
+        .compile_c(rewritten)
+    custom_lines = [line.strip() for line in asm.splitlines()
+                    if "custom" in line]
+    print("\ncustom instructions in the generated assembly:")
+    for line in custom_lines:
+        print("  ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Liquid Architecture reproduction.
+
+A Python implementation of the system described in "Liquid Architecture"
+(Jones, Padmanabhan, Rymarz, Maschmeyer, Schuehler, Lockwood, Cytron;
+Washington University in St. Louis, 2004): the LEON2 SPARC V8 soft core
+integrated into the FPX reconfigurable network platform, with remote
+program loading/execution over UDP and a reconfiguration-cache workflow
+for tuning micro-architecture (cache geometry, multiplier, custom
+instructions) per application.
+
+Top-level convenience re-exports cover the public API surface; see the
+subpackages for the full system:
+
+* :mod:`repro.core` -- the liquid-architecture contribution
+* :mod:`repro.cpu`, :mod:`repro.cache`, :mod:`repro.bus`, :mod:`repro.mem`,
+  :mod:`repro.peripherals` -- the LEON2 processor system
+* :mod:`repro.fpx`, :mod:`repro.net` -- the FPX platform and its protocols
+* :mod:`repro.toolchain` -- the cross-compiler flow
+* :mod:`repro.control` -- the web/UDP control software
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Trace capture and vectorized trace analysis."""
+
+from repro.analysis.stats import (
+    MissCurvePoint,
+    footprint_histogram,
+    observed_miss_rate,
+    reuse_distances,
+    simulate_miss_curve,
+    stride_profile,
+    working_set_bytes,
+)
+from repro.analysis.trace import MemoryTrace, TraceRecorder
+
+__all__ = [
+    "MissCurvePoint",
+    "footprint_histogram",
+    "observed_miss_rate",
+    "reuse_distances",
+    "simulate_miss_curve",
+    "stride_profile",
+    "working_set_bytes",
+    "MemoryTrace",
+    "TraceRecorder",
+]

@@ -1,0 +1,6 @@
+"""AMBA substrate: AHB backbone and APB peripheral bus."""
+
+from repro.bus.ahb import AhbBus, AhbConfig, AhbSlave
+from repro.bus.apb import ApbBridge, ApbDevice
+
+__all__ = ["AhbBus", "AhbConfig", "AhbSlave", "ApbBridge", "ApbDevice"]

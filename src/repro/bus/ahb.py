@@ -1,0 +1,166 @@
+"""AMBA AHB model — the LEON2 backbone bus (paper §2.4).
+
+The paper observes that LEON only exercises a small part of the AHB
+protocol: SINGLE and INCR bursts, transfer sizes ≤ 32 bits, and no SPLIT
+transfers.  The model implements exactly that subset, at transaction level
+with cycle accounting: one address cycle per transfer (pipelined into the
+previous data cycle for bursts), one data cycle per beat, plus slave wait
+states.  HRESP=ERROR surfaces as :class:`repro.mem.interface.BusError`.
+
+Slaves implement ``read(address, size) -> (value, wait_states)`` and
+``write(address, size, value) -> wait_states``; a slave that can service
+sequential bursts natively (the SDRAM adapter) additionally provides
+``read_burst(address, nwords) -> (words, wait_states_total)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.mem.interface import BusError
+
+
+class AhbSlave(Protocol):
+    """Anything mappable onto the AHB."""
+
+    def read(self, address: int, size: int) -> tuple[int, int]: ...
+
+    def write(self, address: int, size: int, value: int) -> int: ...
+
+
+@dataclass
+class _Mapping:
+    base: int
+    size: int
+    slave: AhbSlave
+    name: str
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+@dataclass
+class AhbConfig:
+    """Bus cost parameters.
+
+    ``address_cycles`` is the non-overlapped address phase of the *first*
+    transfer of a burst (subsequent beats pipeline their address phase).
+    ``arbitration_cycles`` models the single-cycle grant when another
+    master held the bus; the Liquid system has two masters (LEON and the
+    leon_ctrl/CPP loader) but they are active in disjoint phases, so the
+    default charge is the uncontended one.
+    """
+
+    address_cycles: int = 1
+    arbitration_cycles: int = 0
+    max_burst_words: int = 256  # AHB allows unspecified-length INCR
+
+
+class AhbBus:
+    """Address decoder + cycle accountant for the AHB."""
+
+    def __init__(self, config: AhbConfig | None = None):
+        self.config = config or AhbConfig()
+        self._map: list[_Mapping] = []
+        self.transfers = 0
+        self.burst_transfers = 0
+        self.data_beats = 0
+        self.error_count = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def attach(self, slave: AhbSlave, base: int, size: int,
+               name: str = "") -> None:
+        """Map *slave* at ``[base, base+size)``; ranges must not overlap."""
+        for mapping in self._map:
+            if not (base + size <= mapping.base
+                    or mapping.base + mapping.size <= base):
+                raise ValueError(
+                    f"AHB mapping 0x{base:08x}+0x{size:x} overlaps "
+                    f"'{mapping.name}'")
+        self._map.append(_Mapping(base, size, slave,
+                                  name or type(slave).__name__))
+        self._map.sort(key=lambda mapping: mapping.base)
+
+    def decode(self, address: int) -> _Mapping:
+        for mapping in self._map:
+            if mapping.contains(address):
+                return mapping
+        self.error_count += 1
+        raise BusError(address, "no AHB slave decodes this address")
+
+    def slave_at(self, address: int) -> AhbSlave:
+        return self.decode(address).slave
+
+    # -- transfers -------------------------------------------------------------
+
+    def _overhead(self) -> int:
+        return self.config.address_cycles + self.config.arbitration_cycles
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        mapping = self.decode(address)
+        value, waits = mapping.slave.read(address, size)
+        self.transfers += 1
+        self.data_beats += 1
+        return value, self._overhead() + 1 + waits
+
+    def write(self, address: int, size: int, value: int) -> int:
+        mapping = self.decode(address)
+        waits = mapping.slave.write(address, size, value)
+        self.transfers += 1
+        self.data_beats += 1
+        return self._overhead() + 1 + waits
+
+    def read_burst(self, address: int, nwords: int) -> tuple[list[int], int]:
+        """INCR read burst of *nwords* 32-bit beats (cache line fill).
+
+        The whole burst must target one slave (AHB bursts may not cross a
+        slave boundary; the LEON cache only fills aligned lines, which the
+        memory map keeps inside single devices).
+        """
+        if nwords < 1 or nwords > self.config.max_burst_words:
+            raise ValueError(f"burst length {nwords} unsupported")
+        mapping = self.decode(address)
+        if not mapping.contains(address + 4 * nwords - 1):
+            raise BusError(address, "burst crosses slave boundary")
+        self.transfers += 1
+        self.burst_transfers += 1
+        self.data_beats += nwords
+        native = getattr(mapping.slave, "read_burst", None)
+        if native is not None:
+            words, waits = native(address, nwords)
+            return words, self._overhead() + nwords + waits
+        words = []
+        waits_total = 0
+        for i in range(nwords):
+            word, waits = mapping.slave.read(address + 4 * i, 4)
+            words.append(word)
+            waits_total += waits
+        return words, self._overhead() + nwords + waits_total
+
+    def write_burst(self, address: int, words: list[int]) -> int:
+        """INCR write burst.  Slaves that cannot accept write bursts (the
+        SDRAM adapter — paper §3.2 disallows them to preserve memory
+        integrity) are driven with single transfers instead."""
+        mapping = self.decode(address)
+        native = getattr(mapping.slave, "write_burst", None)
+        if native is not None and getattr(mapping.slave,
+                                          "supports_write_burst", True):
+            self.transfers += 1
+            self.burst_transfers += 1
+            self.data_beats += len(words)
+            waits = native(address, words)
+            return self._overhead() + len(words) + waits
+        cycles = 0
+        for i, word in enumerate(words):
+            cycles += self.write(address + 4 * i, 4, word)
+        return cycles
+
+    # -- introspection ---------------------------------------------------------
+
+    def topology(self) -> list[dict]:
+        return [
+            {"name": mapping.name, "base": mapping.base, "size": mapping.size}
+            for mapping in self._map
+        ]

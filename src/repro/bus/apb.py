@@ -1,0 +1,100 @@
+"""AMBA APB bridge and peripheral bus (paper §2.3: "separate buses for
+high speed memory access and low speed peripheral control").
+
+The APB hangs off the AHB through :class:`ApbBridge`, which is itself an
+AHB slave.  Every APB access costs a fixed setup + access penalty (the
+two-cycle APB protocol) on top of the AHB transfer; APB space is
+configured non-cacheable in the memory map.
+
+Peripheral registers are word-addressed: devices implement
+``read_register(offset) -> int`` and ``write_register(offset, value)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.mem.interface import BusError
+from repro.utils import u32
+
+
+class ApbDevice(Protocol):
+    """A register-file peripheral on the APB."""
+
+    def read_register(self, offset: int) -> int: ...
+
+    def write_register(self, offset: int, value: int) -> None: ...
+
+
+@dataclass
+class _ApbMapping:
+    base: int
+    size: int
+    device: ApbDevice
+    name: str
+
+
+class ApbBridge:
+    """AHB slave that forwards to APB peripherals.
+
+    *base* is the bridge's AHB base address; device offsets are relative
+    to it (matching the LEON2 register map rooted at 0x8000_0000).
+    """
+
+    def __init__(self, base: int = 0x8000_0000, penalty_cycles: int = 2):
+        self.base = base
+        self.penalty_cycles = penalty_cycles
+        self._map: list[_ApbMapping] = []
+        self.accesses = 0
+
+    def attach(self, device: ApbDevice, offset: int, size: int = 0x10,
+               name: str = "") -> None:
+        base = self.base + offset
+        for mapping in self._map:
+            if not (base + size <= mapping.base
+                    or mapping.base + mapping.size <= base):
+                raise ValueError(f"APB mapping at +0x{offset:x} overlaps "
+                                 f"'{mapping.name}'")
+        self._map.append(_ApbMapping(base, size, device,
+                                     name or type(device).__name__))
+        self._map.sort(key=lambda mapping: mapping.base)
+
+    def _decode(self, address: int) -> tuple[ApbDevice, int]:
+        for mapping in self._map:
+            if mapping.base <= address < mapping.base + mapping.size:
+                return mapping.device, address - mapping.base
+        raise BusError(address, "no APB device decodes this address")
+
+    # -- AHB slave interface ---------------------------------------------------
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        device, offset = self._decode(address)
+        self.accesses += 1
+        word = u32(device.read_register(offset & ~3))
+        if size == 4:
+            value = word
+        else:
+            # Sub-word reads extract big-endian bytes from the register.
+            shift = (4 - (address & 3) - size) * 8
+            value = (word >> shift) & ((1 << (8 * size)) - 1)
+        return value, self.penalty_cycles
+
+    def write(self, address: int, size: int, value: int) -> int:
+        device, offset = self._decode(address)
+        self.accesses += 1
+        if size == 4:
+            device.write_register(offset & ~3, u32(value))
+        else:
+            word = u32(device.read_register(offset & ~3))
+            shift = (4 - (address & 3) - size) * 8
+            mask = ((1 << (8 * size)) - 1) << shift
+            word = (word & ~mask) | ((value << shift) & mask)
+            device.write_register(offset & ~3, word)
+        return self.penalty_cycles
+
+    def topology(self) -> list[dict]:
+        return [
+            {"name": mapping.name, "base": mapping.base, "size": mapping.size}
+            for mapping in self._map
+        ]

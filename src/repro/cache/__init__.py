@@ -1,0 +1,27 @@
+"""Configurable instruction/data caches (the paper's headline tunable)."""
+
+from repro.cache.cache import (
+    REPLACEMENT_POLICIES,
+    CacheGeometry,
+    CacheStats,
+    SetAssociativeCache,
+)
+from repro.cache.controller import CacheController
+from repro.cache.prefetch import (
+    PREFETCH_POLICIES,
+    NextLinePrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+__all__ = [
+    "REPLACEMENT_POLICIES",
+    "CacheGeometry",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CacheController",
+    "PREFETCH_POLICIES",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

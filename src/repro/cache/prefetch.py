@@ -1,0 +1,117 @@
+"""Prefetch units — the paper's "alternative memory structure".
+
+§1 names prefetching as a liquid dimension: "The application's
+performance can be improved by reconfiguring the hardware to use a cache
+scheme or alternative memory structure (such as a prefetch unit) better
+tailored to the application."  Two hardware-realistic policies:
+
+* :class:`NextLinePrefetcher` — on a demand miss, also fetch the next
+  sequential line (the classic one-block-lookahead).
+* :class:`StridePrefetcher` — a reference-prediction table of one entry:
+  detects a constant stride in the demand-miss stream and fetches
+  ``miss + stride``.  This is the unit the Trace Analyzer recommends
+  when one stride dominates a trace.
+
+Timing model: the prefetch engine has its own AHB grant slots, so a
+*correct* prefetch overlaps with execution and the CPU never stalls for
+it; the demand miss that triggers it pays a fixed ``issue_cycles`` for
+the extra tag-port/bus arbitration.  Background bus occupancy is
+accounted in :attr:`background_cycles` (it shows up in bus statistics,
+not in CPU stalls).  Wrong prefetches pollute the cache — the real
+hazard of prefetching — because fills go through the normal replacement
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cost added to the triggering demand miss (arbitration + tag port).
+ISSUE_CYCLES = 1
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    useful: int = 0          # prefetched lines later hit by a demand read
+    background_cycles: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class NextLinePrefetcher:
+    """One-block-lookahead: prefetch line N+1 on a miss to line N, and
+    chain on prefetch hits (tagged prefetching) so a sequential stream
+    stays one line ahead after the first miss."""
+
+    name = "nextline"
+
+    def __init__(self, line_size: int):
+        self.line_size = line_size
+        self.stats = PrefetchStats()
+
+    def predict(self, miss_address: int) -> int | None:
+        return (miss_address & ~(self.line_size - 1)) + self.line_size
+
+    def advance(self, hit_line_base: int) -> int | None:
+        """A demand hit on a prefetched line: keep running ahead."""
+        return hit_line_base + self.line_size
+
+
+class StridePrefetcher:
+    """Single-entry reference-prediction table over demand misses.
+
+    Two consecutive misses with the same delta arm the predictor; while
+    armed, each miss prefetches ``miss + stride``.  A delta change
+    disarms and retrains, so irregular streams degrade to no prefetching
+    instead of to pollution.
+    """
+
+    name = "stride"
+
+    def __init__(self, line_size: int):
+        self.line_size = line_size
+        self.stats = PrefetchStats()
+        self._last_miss: int | None = None
+        self._stride: int | None = None
+        self._confident = False
+
+    def predict(self, miss_address: int) -> int | None:
+        prediction = None
+        if self._last_miss is not None:
+            delta = miss_address - self._last_miss
+            if delta != 0 and delta == self._stride:
+                self._confident = True
+            elif self._stride is not None and delta != self._stride:
+                self._confident = False
+            self._stride = delta if delta != 0 else self._stride
+            if self._confident and self._stride:
+                prediction = miss_address + self._stride
+        self._last_miss = miss_address
+        return prediction
+
+    def advance(self, hit_line_base: int) -> int | None:
+        """Chained prefetch: a hit on a prefetched line means the stream
+        is following the stride; stay one step ahead.  The "last miss"
+        moves with it so the pattern isn't treated as broken when the
+        next real miss eventually arrives."""
+        if not (self._confident and self._stride):
+            return None
+        self._last_miss = hit_line_base
+        return hit_line_base + self._stride
+
+
+def make_prefetcher(policy: str, line_size: int):
+    """Factory keyed by the ArchitectureConfig 'prefetch' value."""
+    if policy == "none":
+        return None
+    if policy == "nextline":
+        return NextLinePrefetcher(line_size)
+    if policy == "stride":
+        return StridePrefetcher(line_size)
+    raise ValueError(f"unknown prefetch policy '{policy}'")
+
+
+PREFETCH_POLICIES = ("none", "nextline", "stride")

@@ -1,0 +1,24 @@
+"""Control software: client, transports, listener, servlet, HW emulator."""
+
+from repro.control.client import (
+    ControlTimeout,
+    DeviceError,
+    LiquidClient,
+    RunResult,
+)
+from repro.control.emulator import HardwareEmulator
+from repro.control.listener import ResponseListener
+from repro.control.transport import DirectTransport, LossyTransport
+from repro.control.webapp import ControlServlet
+
+__all__ = [
+    "ControlTimeout",
+    "DeviceError",
+    "LiquidClient",
+    "RunResult",
+    "HardwareEmulator",
+    "ResponseListener",
+    "DirectTransport",
+    "LossyTransport",
+    "ControlServlet",
+]

@@ -1,0 +1,181 @@
+"""LiquidClient: the user-facing control software (paper §2.6, Figure 4).
+
+Provides the four-plus-one commands of the web interface — LEON status,
+Load program (multi-packet with retransmission of lost chunks), Start
+LEON, Read memory, Restart — over any transport.  A
+:class:`~repro.control.listener.ResponseListener` records every response
+as the dedicated listener thread of the paper's control server did.
+
+Reliability note: the paper's protocol is fire-and-forget UDP with a
+human watching the console.  The client layers a simple
+send/ack/retransmit loop on top so that program loading succeeds over
+lossy channels; the wire format is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.listener import ResponseListener
+from repro.net import protocol
+from repro.net.protocol import (
+    ErrorResponse,
+    LoadAck,
+    MemoryData,
+    Restarted,
+    Started,
+    StatusResponse,
+    TraceData,
+)
+from repro.toolchain.objfile import Image
+
+
+class ControlTimeout(Exception):
+    """No (matching) response arrived within the retry budget."""
+
+
+class DeviceError(Exception):
+    """The device answered with an ERROR response."""
+
+    def __init__(self, response: ErrorResponse):
+        self.response = response
+        super().__init__(f"device error 0x{response.code:02x}: "
+                         f"{response.message}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`LiquidClient.run_image`."""
+
+    entry: int
+    cycles: int
+    result_word: int | None
+
+
+class LiquidClient:
+    def __init__(self, transport, listener: ResponseListener | None = None,
+                 max_retries: int = 8, poll_rounds: int = 64):
+        self.transport = transport
+        self.listener = listener or ResponseListener()
+        self.max_retries = max_retries
+        self.poll_rounds = poll_rounds
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> list:
+        responses = []
+        for payload in self.transport.poll():
+            try:
+                response = protocol.decode_response(payload)
+            except protocol.ProtocolError:
+                continue
+            self.listener.record(response)
+            responses.append(response)
+        return responses
+
+    def _request(self, payload: bytes, want: type, *,
+                 predicate=None, allow_error: bool = False):
+        """Send *payload* until a response of type *want* arrives."""
+        for _ in range(self.max_retries):
+            self.transport.send(payload)
+            for _ in range(self.poll_rounds):
+                for response in self._collect():
+                    if isinstance(response, ErrorResponse) and not allow_error:
+                        raise DeviceError(response)
+                    if isinstance(response, want) and (
+                            predicate is None or predicate(response)):
+                        return response
+                self.transport.idle_device()
+        raise ControlTimeout(f"no {want.__name__} response after "
+                             f"{self.max_retries} retries")
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def status(self) -> StatusResponse:
+        return self._request(protocol.encode_status_request(), StatusResponse)
+
+    def restart(self) -> Restarted:
+        # One restarts *because* something went wrong; stale error
+        # packets from the crashed program must not abort the recovery.
+        return self._request(protocol.encode_restart(), Restarted,
+                             allow_error=True)
+
+    def load_binary(self, base: int, blob: bytes,
+                    chunk: int = protocol.DEFAULT_CHUNK) -> int:
+        """Load a flat binary; returns the number of chunks transmitted
+        (including retransmissions)."""
+        payloads = protocol.packetize_program(base, blob, chunk)
+        total = len(payloads)
+        transmissions = 0
+        for attempt in range(self.max_retries):
+            for payload in payloads:
+                self.transport.send(payload)
+                transmissions += 1
+            ack = self._request(
+                # Nudge with the first chunk; acks carry progress.
+                payloads[0], LoadAck,
+                predicate=lambda ack: ack.total == total)
+            transmissions += 1
+            if ack.received >= ack.total:
+                return transmissions
+        raise ControlTimeout(f"program load incomplete after "
+                             f"{self.max_retries} attempts")
+
+    def load_image(self, image: Image,
+                   chunk: int = protocol.DEFAULT_CHUNK) -> int:
+        base, blob = image.flatten()
+        return self.load_binary(base, blob, chunk)
+
+    def start(self, entry: int = 0) -> Started:
+        return self._request(protocol.encode_start(entry), Started)
+
+    def read_memory(self, address: int, length: int = 4) -> bytes:
+        response = self._request(
+            protocol.encode_read_memory(address, length), MemoryData,
+            predicate=lambda r: r.address == address)
+        return response.data
+
+    def read_word(self, address: int) -> int:
+        return int.from_bytes(self.read_memory(address, 4), "big")
+
+    def fetch_trace(self, chunk: int = 512):
+        """Stream the instrumented memory trace off the device (Fig 1:
+        "the streaming of instrumented traces to the Trace Analyzer").
+
+        Returns a :class:`repro.analysis.trace.MemoryTrace`.
+        """
+        from repro.analysis.trace import MemoryTrace
+
+        blob = bytearray()
+        offset = 0
+        while True:
+            response = self._request(
+                protocol.encode_read_trace(offset, chunk), TraceData,
+                predicate=lambda r: r.offset == offset)
+            blob += response.data
+            offset += len(response.data)
+            if offset >= response.total or not response.data:
+                break
+        return MemoryTrace.from_bytes(bytes(blob))
+
+    # ------------------------------------------------------------------
+    # Composite flows
+    # ------------------------------------------------------------------
+
+    def run_image(self, image: Image, result_addr: int | None = None,
+                  entry: int = 0,
+                  max_instructions: int = 50_000_000) -> RunResult:
+        """The full §2.6 flow: load → start → wait → read result/cycles."""
+        self.load_image(image)
+        started = self.start(entry)
+        self.transport.run_device_program(max_instructions)
+        status = self.status()
+        result_word = None
+        if result_addr is not None:
+            result_word = self.read_word(result_addr)
+        return RunResult(entry=started.entry, cycles=status.cycles,
+                         result_word=result_word)

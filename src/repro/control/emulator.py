@@ -1,0 +1,117 @@
+"""Hardware emulator — the paper's "Java Emulator of the H/W (for
+debugging)" from Figure 4.
+
+A behavioural stand-in for the whole FPX node that speaks the same
+IP/UDP control protocol: it stores loaded program bytes, answers status
+and read-memory requests, and pretends programs complete instantly with
+a configurable fake cycle count.  The control software was developed
+against exactly such an emulator before the hardware existed; our tests
+use it the same way (protocol tests that don't need the CPU) and to
+check that the emulator and the real platform are protocol-compatible.
+"""
+
+from __future__ import annotations
+
+from repro.fpx.wrappers import LayeredProtocolWrappers
+from repro.net import protocol
+from repro.net.packets import build_udp_packet
+from repro.net.protocol import (
+    LeonState,
+    LoadChunk,
+    ProgramAssembler,
+    ReadRequest,
+    RestartRequest,
+    StartRequest,
+    StatusRequest,
+)
+
+
+class HardwareEmulator:
+    """Duck-type compatible with :class:`~repro.fpx.platform.FPXPlatform`
+    for everything a transport touches."""
+
+    def __init__(self, device_ip: str, control_port: int,
+                 fake_cycles: int = 123456, memory_size: int = 1 << 21,
+                 memory_base: int = 0x4000_0000):
+        self.wrappers = LayeredProtocolWrappers.for_address(device_ip)
+        self.control_port = control_port
+        self.fake_cycles = fake_cycles
+        self.memory = bytearray(memory_size)
+        self.memory_base = memory_base
+        self.state = LeonState.POLLING
+        self.assembler = ProgramAssembler()
+        self.loaded_base: int | None = None
+        self.tx_frames: list[bytes] = []
+        self._requester: tuple[int, int] | None = None
+
+    # -- device interface ----------------------------------------------------
+
+    def inject_frame(self, frame: bytes) -> None:
+        unwrapped = self.wrappers.unwrap(frame)
+        if unwrapped is None or unwrapped.dst_port != self.control_port:
+            return
+        self._requester = (unwrapped.src_ip, unwrapped.src_port)
+        try:
+            command = protocol.decode_command(unwrapped.payload)
+        except protocol.ProtocolError as exc:
+            self._reply(protocol.encode_error(0x10, str(exc)))
+            return
+        self._execute(command)
+
+    def take_tx_frames(self) -> list[bytes]:
+        frames, self.tx_frames = self.tx_frames, []
+        return frames
+
+    def step(self, instructions: int = 1) -> int:
+        return 0  # nothing to clock
+
+    def run_until(self, states, max_instructions: int = 0) -> LeonState:
+        return self.state
+
+    # -- behaviour ------------------------------------------------------------
+
+    def _execute(self, command) -> None:
+        if isinstance(command, StatusRequest):
+            cycles = self.fake_cycles if self.state == LeonState.DONE else 0
+            self._reply(protocol.encode_status_response(self.state, cycles))
+        elif isinstance(command, RestartRequest):
+            self.state = LeonState.POLLING
+            self.assembler.reset()
+            self.loaded_base = None
+            self._reply(protocol.encode_restarted())
+        elif isinstance(command, LoadChunk):
+            if self.state in (LeonState.POLLING, LeonState.DONE):
+                self.state = LeonState.LOADING
+                self.assembler.reset()
+            self.assembler.add(command)
+            offset = command.address - self.memory_base
+            if 0 <= offset <= len(self.memory) - len(command.data):
+                self.memory[offset:offset + len(command.data)] = command.data
+            if self.assembler.complete:
+                self.loaded_base = self.assembler.base_address()
+            self._reply(protocol.encode_load_ack(self.assembler.received,
+                                                 self.assembler.total or 0))
+        elif isinstance(command, StartRequest):
+            entry = command.entry or self.loaded_base
+            if entry is None:
+                self._reply(protocol.encode_error(0x11, "nothing loaded"))
+                return
+            # The emulator "runs" the program instantaneously.
+            self.state = LeonState.DONE
+            self._reply(protocol.encode_started(entry))
+        elif isinstance(command, ReadRequest):
+            offset = command.address - self.memory_base
+            if 0 <= offset <= len(self.memory) - command.length:
+                data = bytes(self.memory[offset:offset + command.length])
+                self._reply(protocol.encode_memory_data(command.address, data))
+            else:
+                self._reply(protocol.encode_error(
+                    0x12, f"bad address 0x{command.address:08x}"))
+
+    def _reply(self, payload: bytes) -> None:
+        if self._requester is None:
+            return
+        ip, port = self._requester
+        self.tx_frames.append(
+            build_udp_packet(self.wrappers.device_ip, ip, self.control_port,
+                             port, payload))

@@ -1,0 +1,65 @@
+"""Response listener — the paper's dedicated console thread.
+
+"A dedicated Java program running in a different thread on the control
+software server listens continuously for UDP packets transmitted by FPGA
+and displays them on the console as they arrive."  The model is
+single-threaded, so the listener is a recorder: every decoded response is
+appended with a sequence number, and :meth:`console_lines` renders the
+console output the operator would have watched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.protocol import (
+    ErrorResponse,
+    LoadAck,
+    MemoryData,
+    Restarted,
+    Started,
+    StatusResponse,
+)
+
+
+@dataclass
+class ResponseListener:
+    records: list = field(default_factory=list)
+
+    def record(self, response) -> None:
+        self.records.append(response)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_type(self, kind: type) -> list:
+        return [r for r in self.records if isinstance(r, kind)]
+
+    def console_lines(self) -> list[str]:
+        lines = []
+        for index, response in enumerate(self.records):
+            lines.append(f"[{index:04d}] {self._format(response)}")
+        return lines
+
+    @staticmethod
+    def _format(response) -> str:
+        if isinstance(response, StatusResponse):
+            return (f"LEON status: {response.state.name} "
+                    f"(cycle counter {response.cycles})")
+        if isinstance(response, LoadAck):
+            return f"load progress: {response.received}/{response.total} chunks"
+        if isinstance(response, Started):
+            return f"LEON started at 0x{response.entry:08x}"
+        if isinstance(response, Restarted):
+            return "LEON restarted"
+        if isinstance(response, MemoryData):
+            words = [
+                int.from_bytes(response.data[i:i + 4], "big")
+                for i in range(0, len(response.data) - 3, 4)
+            ]
+            rendered = " ".join(f"{w:08x}" for w in words[:8])
+            suffix = " ..." if len(words) > 8 else ""
+            return f"memory[0x{response.address:08x}]: {rendered}{suffix}"
+        if isinstance(response, ErrorResponse):
+            return f"ERROR 0x{response.code:02x}: {response.message}"
+        return repr(response)

@@ -1,0 +1,122 @@
+"""Transports carrying control packets between client and device.
+
+The paper's control software is a Java servlet acting as a UDP client; a
+listener thread prints responses as they arrive.  Here a *transport*
+hides how datagrams get to the device:
+
+* :class:`DirectTransport` — zero-loss, in-order (a LAN bench setup);
+* :class:`LossyTransport` — through a seeded
+  :class:`~repro.net.channel.Channel` pair with loss/reorder/duplication,
+  i.e. the open-Internet case the protocol was designed for;
+* either can target the real :class:`~repro.fpx.platform.FPXPlatform` or
+  the :class:`~repro.control.emulator.HardwareEmulator` (the paper's
+  "Java emulator of the H/W (for debugging)").
+
+Transports also own the *device driving* policy: the FPX hardware runs
+continuously, so whenever the client waits for a response the transport
+advances the device model (`device.step`) between deliveries.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.net.channel import Channel, ChannelConfig, duplex
+from repro.net.packets import build_udp_packet, parse_ip, parse_udp_packet
+from repro.net.protocol import LeonState
+
+DEFAULT_CLIENT_IP = "128.252.153.99"
+DEFAULT_CLIENT_PORT = 34567
+
+
+class Device(Protocol):
+    """What a transport needs from the device side (FPXPlatform or the
+    hardware emulator satisfy this)."""
+
+    def inject_frame(self, frame: bytes) -> None: ...
+
+    def take_tx_frames(self) -> list[bytes]: ...
+
+    def step(self, instructions: int = 1) -> int: ...
+
+    def run_until(self, states: set, max_instructions: int = 0): ...
+
+
+class _TransportBase:
+    def __init__(self, device, device_ip: str, device_port: int,
+                 client_ip: str = DEFAULT_CLIENT_IP,
+                 client_port: int = DEFAULT_CLIENT_PORT):
+        self.device = device
+        self.device_ip = parse_ip(device_ip)
+        self.device_port = device_port
+        self.client_ip = parse_ip(client_ip)
+        self.client_port = client_port
+        self.sent_payloads = 0
+        self.received_payloads = 0
+
+    def _frame_for(self, payload: bytes) -> bytes:
+        self.sent_payloads += 1
+        return build_udp_packet(self.client_ip, self.device_ip,
+                                self.client_port, self.device_port, payload,
+                                identification=self.sent_payloads)
+
+    def _unwrap_responses(self, frames: list[bytes]) -> list[bytes]:
+        payloads = []
+        for frame in frames:
+            try:
+                ip, udp = parse_udp_packet(frame)
+            except Exception:
+                continue  # corrupted on the wire; checksum caught it
+            if ip.dst_ip == self.client_ip and udp.dst_port == self.client_port:
+                payloads.append(udp.payload)
+                self.received_payloads += 1
+        return payloads
+
+    # -- device-driving helpers -------------------------------------------
+
+    def run_device_program(self, max_instructions: int = 50_000_000):
+        """Let the device execute until the loaded program finishes."""
+        return self.device.run_until({LeonState.DONE, LeonState.ERROR},
+                                     max_instructions)
+
+    def idle_device(self, instructions: int = 64) -> None:
+        """Advance the device a little (it is always clocking)."""
+        self.device.step(instructions)
+
+
+class DirectTransport(_TransportBase):
+    """Lossless, in-order delivery."""
+
+    def send(self, payload: bytes) -> None:
+        self.device.inject_frame(self._frame_for(payload))
+
+    def poll(self) -> list[bytes]:
+        return self._unwrap_responses(self.device.take_tx_frames())
+
+
+class LossyTransport(_TransportBase):
+    """Delivery through fault-injecting channels (seeded, deterministic)."""
+
+    def __init__(self, device, device_ip: str, device_port: int,
+                 channel_config: ChannelConfig | None = None, seed: int = 7,
+                 client_ip: str = DEFAULT_CLIENT_IP,
+                 client_port: int = DEFAULT_CLIENT_PORT):
+        super().__init__(device, device_ip, device_port, client_ip,
+                         client_port)
+        self.to_device, self.to_client = duplex(channel_config, seed)
+
+    def send(self, payload: bytes) -> None:
+        self.to_device.send(self._frame_for(payload))
+
+    def poll(self) -> list[bytes]:
+        # Move queued frames into the device, collect what it transmits,
+        # and push that through the return channel.
+        for frame in self.to_device.deliver():
+            self.device.inject_frame(frame)
+        for frame in self.device.take_tx_frames():
+            self.to_client.send(frame)
+        return self._unwrap_responses(self.to_client.deliver())
+
+    def channel_stats(self) -> dict:
+        return {"to_device": self.to_device.stats(),
+                "to_client": self.to_client.stats()}

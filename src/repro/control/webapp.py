@@ -1,0 +1,75 @@
+"""Web-interface analogue of the paper's Java servlet (Figure 4).
+
+"A web interface is provided for the user to submit a request.  This
+request is received by a Java servlet running on an Apache TomCat
+server."  Here :class:`ControlServlet` is a request dispatcher: it takes
+form-style dicts (``{"action": "load", "file": ..., ...}``), performs the
+command through a :class:`~repro.control.client.LiquidClient`, and
+returns the text page the browser would have shown.  There is no HTTP
+machinery on purpose — the servlet's *behaviour* is what the paper
+describes, and that is what tests exercise.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.control.client import ControlTimeout, DeviceError, LiquidClient
+
+
+class ControlServlet:
+    ACTIONS = ("status", "load", "start", "read", "restart", "console")
+
+    def __init__(self, client: LiquidClient):
+        self.client = client
+        self.requests_served = 0
+
+    def handle_request(self, form: dict) -> str:
+        """Dispatch one form submission; returns the response page text."""
+        self.requests_served += 1
+        action = form.get("action", "")
+        if action not in self.ACTIONS:
+            return f"400 unknown action '{action}'"
+        try:
+            return getattr(self, f"_do_{action}")(form)
+        except DeviceError as exc:
+            return f"502 device error: {exc}"
+        except ControlTimeout as exc:
+            return f"504 timeout: {exc}"
+        except (KeyError, ValueError) as exc:
+            return f"400 bad request: {exc}"
+
+    # -- actions ------------------------------------------------------------
+
+    def _do_status(self, form: dict) -> str:
+        status = self.client.status()
+        return (f"200 LEON status: {status.state.name}, "
+                f"cycle counter {status.cycles}")
+
+    def _do_load(self, form: dict) -> str:
+        base = int(form["address"], 0)
+        blob = binascii.unhexlify(form["hex"])
+        chunk = int(form.get("chunk", "128"), 0)
+        transmissions = self.client.load_binary(base, blob, chunk)
+        return (f"200 loaded {len(blob)} bytes at 0x{base:08x} "
+                f"({transmissions} packets)")
+
+    def _do_start(self, form: dict) -> str:
+        entry = int(form.get("entry", "0"), 0)
+        started = self.client.start(entry)
+        self.client.transport.run_device_program()
+        return f"200 started at 0x{started.entry:08x}"
+
+    def _do_read(self, form: dict) -> str:
+        address = int(form["address"], 0)
+        length = int(form.get("length", "4"), 0)
+        data = self.client.read_memory(address, length)
+        return f"200 memory[0x{address:08x}] = {data.hex()}"
+
+    def _do_restart(self, form: dict) -> str:
+        self.client.restart()
+        return "200 restarted"
+
+    def _do_console(self, form: dict) -> str:
+        lines = self.client.listener.console_lines()
+        return "200 console:\n" + "\n".join(lines[-50:])

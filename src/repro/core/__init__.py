@@ -1,0 +1,67 @@
+"""The liquid-architecture contribution: configuration space, synthesis
+model, reconfiguration cache/server, trace analyzer, architecture
+generator, rewrite recipes, and the top-level system facade."""
+
+from repro.core.config import (
+    BASELINE,
+    ArchitectureConfig,
+    ExtensionSpec,
+)
+from repro.core.generator import ArchitectureGenerator, ExplorationResult
+from repro.core.liquid import LiquidProcessorSystem, ProgramRun
+from repro.core.recon_cache import ReconfigurationCache
+from repro.core.sim import SimReport, Simulator, simulate
+from repro.core.recon_server import Job, JobResult, ReconfigurationServer
+from repro.core.rewriter import (
+    BUILTIN_RECIPES,
+    MAC_RECIPE,
+    POPCOUNT_RECIPE,
+    SATADD_RECIPE,
+    RewriteRecipe,
+    install_recipes,
+)
+from repro.core.space import ConfigurationSpace
+from repro.core.synthesis import (
+    Bitfile,
+    DeviceUtilization,
+    SynthesisError,
+    SynthesisModel,
+    figure10_table,
+)
+from repro.core.trace_analyzer import (
+    AnalysisReport,
+    Recommendation,
+    TraceAnalyzer,
+)
+
+__all__ = [
+    "BASELINE",
+    "ArchitectureConfig",
+    "ExtensionSpec",
+    "ArchitectureGenerator",
+    "ExplorationResult",
+    "LiquidProcessorSystem",
+    "ProgramRun",
+    "ReconfigurationCache",
+    "SimReport",
+    "Simulator",
+    "simulate",
+    "Job",
+    "JobResult",
+    "ReconfigurationServer",
+    "BUILTIN_RECIPES",
+    "MAC_RECIPE",
+    "POPCOUNT_RECIPE",
+    "SATADD_RECIPE",
+    "RewriteRecipe",
+    "install_recipes",
+    "ConfigurationSpace",
+    "Bitfile",
+    "DeviceUtilization",
+    "SynthesisError",
+    "SynthesisModel",
+    "figure10_table",
+    "AnalysisReport",
+    "Recommendation",
+    "TraceAnalyzer",
+]

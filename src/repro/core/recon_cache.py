@@ -1,0 +1,108 @@
+"""Reconfiguration cache (Figure 1, right-hand loop).
+
+"As features are identified for reconfiguration, instances of those
+features are pre-generated in the user- or application-defined parameter
+space.  Each such instance requires ~1 hour to synthesize, and the
+results are captured in the reconfiguration cache.  At runtime, an
+application can switch between these pre-generated modules to improve
+performance."
+
+The cache maps a configuration key to its :class:`Bitfile`.  A miss
+charges full synthesis time into the model-time ledger; a hit charges
+nothing — that asymmetry (×1000s) *is* the paper's argument, and
+``benchmarks/bench_recon_cache.py`` measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ArchitectureConfig
+from repro.core.synthesis import Bitfile, SynthesisModel
+
+
+@dataclass
+class CacheRecord:
+    bitfile: Bitfile
+    hits: int = 0
+    last_use: int = 0
+
+
+@dataclass
+class ReconStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    synthesis_seconds: float = 0.0
+    seconds_saved: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReconfigurationCache:
+    """LRU-bounded store of pre-generated bitfiles."""
+
+    def __init__(self, synthesizer: SynthesisModel | None = None,
+                 capacity: int | None = None):
+        self.synthesizer = synthesizer or SynthesisModel()
+        self.capacity = capacity
+        self._records: dict[str, CacheRecord] = {}
+        self._clock = 0
+        self.stats = ReconStats()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, config: ArchitectureConfig) -> bool:
+        return config.key() in self._records
+
+    def lookup(self, config: ArchitectureConfig) -> Bitfile | None:
+        """Peek without synthesizing (no miss is recorded)."""
+        record = self._records.get(config.key())
+        if record is None:
+            return None
+        return record.bitfile
+
+    def get(self, config: ArchitectureConfig) -> tuple[Bitfile, float]:
+        """Return (bitfile, model_seconds_spent).
+
+        A hit costs 0 s of synthesis; a miss runs the synthesis model,
+        stores the result, and returns the full synthesis time.
+        """
+        self._clock += 1
+        key = config.key()
+        record = self._records.get(key)
+        if record is not None:
+            record.hits += 1
+            record.last_use = self._clock
+            self.stats.hits += 1
+            self.stats.seconds_saved += record.bitfile.synthesis_seconds
+            return record.bitfile, 0.0
+        bitfile = self.synthesizer.synthesize(config)
+        self.stats.misses += 1
+        self.stats.synthesis_seconds += bitfile.synthesis_seconds
+        self._insert(key, bitfile)
+        return bitfile, bitfile.synthesis_seconds
+
+    def pregenerate(self, configs) -> float:
+        """Ahead-of-time fill (the paper's workflow); returns the total
+        synthesis seconds spent."""
+        total = 0.0
+        for config in configs:
+            _, seconds = self.get(config)
+            total += seconds
+        return total
+
+    def _insert(self, key: str, bitfile: Bitfile) -> None:
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            victim_key = min(self._records,
+                             key=lambda k: self._records[k].last_use)
+            del self._records[victim_key]
+            self.stats.evictions += 1
+        self._records[key] = CacheRecord(bitfile, last_use=self._clock)
+
+    def contents(self) -> list[str]:
+        return sorted(self._records)

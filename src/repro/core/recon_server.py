@@ -1,0 +1,153 @@
+"""Reconfiguration Server: sequencing access to the FPX platform.
+
+"The Reconfiguration Server controls access to the FPX Platform,
+sequencing the loading and execution of applications."  The server owns
+the (single) FPX node, a reconfiguration cache, and a model-time ledger:
+
+* :meth:`configure` — ensure the RAD runs the requested architecture:
+  reconfiguration-cache lookup (miss → synthesis time), then SelectMap
+  programming time, then re-instantiating the platform model (our
+  software analogue of loading a new bitfile);
+* :meth:`submit` / :meth:`run_job` — queued load-and-execute jobs, each
+  returning the measured cycle count.
+
+Model time is wall-clock *in the model* (synthesis hours, programming
+milliseconds, program cycles at the bitfile's clock rate) — the currency
+in which the reconfiguration cache pays off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.control.client import LiquidClient
+from repro.control.transport import DirectTransport
+from repro.core.config import ArchitectureConfig
+from repro.core.recon_cache import ReconfigurationCache
+from repro.core.synthesis import Bitfile
+from repro.fpx.platform import FPXPlatform
+from repro.mem.memmap import DEFAULT_MAP
+from repro.net.protocol import LeonState
+from repro.toolchain.objfile import Image
+
+
+@dataclass
+class Job:
+    """One load-and-execute request against a given architecture."""
+
+    image: Image
+    config: ArchitectureConfig
+    name: str = "job"
+    result_addr: int | None = DEFAULT_MAP.result_addr
+    max_instructions: int = 50_000_000
+
+
+@dataclass
+class JobResult:
+    name: str
+    config_key: str
+    state: LeonState
+    cycles: int
+    result_word: int | None
+    seconds_synthesis: float
+    seconds_programming: float
+    seconds_execution: float
+    cache_hit: bool
+
+    @property
+    def total_model_seconds(self) -> float:
+        return (self.seconds_synthesis + self.seconds_programming
+                + self.seconds_execution)
+
+
+class ReconfigurationServer:
+    def __init__(self, cache: ReconfigurationCache | None = None):
+        self.cache = cache or ReconfigurationCache()
+        self.platform: FPXPlatform | None = None
+        self.client: LiquidClient | None = None
+        self.current_bitfile: Bitfile | None = None
+        self.model_seconds = 0.0
+        self.reconfigurations = 0
+        self._queue: deque[Job] = deque()
+        self.results: list[JobResult] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def configure(self, config: ArchitectureConfig) -> tuple[float, float, bool]:
+        """Make the RAD run *config*; returns (synthesis_s, program_s,
+        cache_hit).  A no-op if the right bitfile is already loaded."""
+        if (self.current_bitfile is not None
+                and self.current_bitfile.config == config
+                and self.platform is not None):
+            return 0.0, 0.0, True
+        bitfile, synthesis_seconds = self.cache.get(config)
+        cache_hit = synthesis_seconds == 0.0
+        # Instantiate the new architecture (= full RAD reconfiguration).
+        platform = FPXPlatform(config.platform_config())
+        program_seconds = platform.rad.program(platform, bitfile.name,
+                                               bitfile.size_bytes)
+        platform.boot()
+        self.platform = platform
+        self.client = LiquidClient(DirectTransport(
+            platform, platform.config.device_ip,
+            platform.config.control_port))
+        self.current_bitfile = bitfile
+        self.reconfigurations += 1
+        self.model_seconds += synthesis_seconds + program_seconds
+        return synthesis_seconds, program_seconds, cache_hit
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        self._queue.append(job)
+
+    def run_queue(self) -> list[JobResult]:
+        results = []
+        while self._queue:
+            results.append(self.run_job(self._queue.popleft()))
+        return results
+
+    def run_job(self, job: Job) -> JobResult:
+        synthesis_s, program_s, cache_hit = self.configure(job.config)
+        platform, client = self.platform, self.client
+        run = client.run_image(job.image, result_addr=job.result_addr,
+                               max_instructions=job.max_instructions)
+        frequency_hz = self.current_bitfile.utilization.frequency_mhz * 1e6
+        execution_s = run.cycles / frequency_hz
+        self.model_seconds += execution_s
+        result = JobResult(
+            name=job.name,
+            config_key=job.config.key(),
+            state=platform.leon_ctrl.state,
+            cycles=run.cycles,
+            result_word=run.result_word,
+            seconds_synthesis=synthesis_s,
+            seconds_programming=program_s,
+            seconds_execution=execution_s,
+            cache_hit=cache_hit,
+        )
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def ledger(self) -> dict:
+        return {
+            "model_seconds": round(self.model_seconds, 3),
+            "reconfigurations": self.reconfigurations,
+            "cache": {
+                "entries": len(self.cache),
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "synthesis_seconds": round(
+                    self.cache.stats.synthesis_seconds, 1),
+                "seconds_saved": round(self.cache.stats.seconds_saved, 1),
+            },
+        }

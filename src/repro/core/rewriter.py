@@ -1,0 +1,173 @@
+"""Application rewriting for custom instructions (Figure 1's "recipe").
+
+"A recipe for rewriting the application is specified, so that the
+application can take advantage of the reconfigured architecture.  ...
+that recipe is provided to the compiler so that the application's
+instructions can be tailored for the architecture."
+
+A :class:`RewriteRecipe` couples three things that must travel together:
+
+1. the *architecture side* — an :class:`ExtensionSpec` (CPop1 ``opf``,
+   area cost) plus the Python semantic executed by the simulator when
+   the custom instruction issues;
+2. the *compiler side* — a peephole rule over generated assembly that
+   replaces a recognised instruction sequence with the ``custom`` form
+   (and/or a C-source mapping ``function name -> __builtin_custom``);
+3. bookkeeping so the synthesis model charges for the accelerator.
+
+Built-in recipes implement the paper's example of "specialized hardware
+to accelerate frequently used instructions or instruction sequences":
+a population-count accelerator and a multiply-accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import ArchitectureConfig, ExtensionSpec
+from repro.cpu.decode import DecodedInstruction
+from repro.cpu.iu import IntegerUnit
+from repro.utils import popcount32, u32
+
+Semantics = Callable[[IntegerUnit, DecodedInstruction], None]
+
+
+@dataclass(frozen=True)
+class RewriteRecipe:
+    """A custom instruction plus how to rewrite code to use it."""
+
+    extension: ExtensionSpec
+    semantics: Semantics
+    #: regex over a *window* of assembly lines -> replacement lines.
+    asm_pattern: str | None = None
+    asm_replacement: str | None = None
+    #: C function name whose calls become __builtin_custom(opf, a, b).
+    c_function: str | None = None
+
+    def apply_to_config(self, config: ArchitectureConfig
+                        ) -> ArchitectureConfig:
+        if any(ext.opf == self.extension.opf for ext in config.extensions):
+            return config
+        return config.with_extension(self.extension)
+
+    def install(self, iu: IntegerUnit) -> None:
+        """Register the simulator semantics on an integer unit."""
+        iu.extensions[self.extension.opf] = self.semantics
+
+    # -- assembly rewriting ---------------------------------------------------
+
+    def rewrite_asm(self, asm_text: str) -> tuple[str, int]:
+        """Apply the peephole rule; returns (new_text, substitutions)."""
+        if self.asm_pattern is None:
+            return asm_text, 0
+        pattern = re.compile(self.asm_pattern, re.MULTILINE)
+        new_text, count = pattern.subn(self.asm_replacement, asm_text)
+        return new_text, count
+
+    # -- C rewriting --------------------------------------------------------------
+
+    def rewrite_c(self, c_source: str) -> tuple[str, int]:
+        """Replace *calls* to :attr:`c_function` with the builtin.
+
+        Definition/declaration sites (where the name is preceded by a
+        type keyword) are left alone — the software fallback stays in
+        the program, it just stops being called.
+        """
+        if self.c_function is None:
+            return c_source, 0
+        type_words = {"int", "unsigned", "char", "void", "short", "long",
+                      "signed", "volatile", "const", "static", "extern"}
+        pattern = re.compile(rf"(\w+\s+)?\b{re.escape(self.c_function)}\s*\(")
+        count = 0
+
+        def substitute(match: re.Match) -> str:
+            nonlocal count
+            prefix = (match.group(1) or "").strip()
+            if prefix in type_words:
+                return match.group(0)  # a definition, not a call
+            count += 1
+            return (match.group(1) or "") + \
+                f"__builtin_custom({self.extension.opf}, "
+
+        new_source = pattern.sub(substitute, c_source)
+        return new_source, count
+
+
+# ---------------------------------------------------------------------------
+# Built-in recipes
+# ---------------------------------------------------------------------------
+
+OPF_POPCOUNT = 0x01
+OPF_MAC = 0x02
+OPF_SATADD = 0x03
+
+
+def _popcount_semantics(iu: IntegerUnit, inst: DecodedInstruction) -> None:
+    value = iu.regs.read(inst.rs1) ^ iu.regs.read(inst.rs2)
+    iu.regs.write(inst.rd, popcount32(value))
+
+
+def _mac_semantics(iu: IntegerUnit, inst: DecodedInstruction) -> None:
+    """rd += rs1 * rs2 (a one-cycle multiply-accumulate datapath)."""
+    product = u32(iu.regs.read(inst.rs1) * iu.regs.read(inst.rs2))
+    iu.regs.write(inst.rd, u32(iu.regs.read(inst.rd) + product))
+
+
+def _satadd_semantics(iu: IntegerUnit, inst: DecodedInstruction) -> None:
+    """Signed saturating add — common in DSP kernels."""
+    from repro.utils import s32
+
+    total = s32(iu.regs.read(inst.rs1)) + s32(iu.regs.read(inst.rs2))
+    total = max(-0x8000_0000, min(0x7FFF_FFFF, total))
+    iu.regs.write(inst.rd, u32(total))
+
+
+POPCOUNT_RECIPE = RewriteRecipe(
+    extension=ExtensionSpec("popc", OPF_POPCOUNT, slice_cost=180, cycles=1),
+    semantics=_popcount_semantics,
+    c_function="popcount_xor",
+)
+
+MAC_RECIPE = RewriteRecipe(
+    extension=ExtensionSpec("mac", OPF_MAC, slice_cost=420, cycles=1),
+    semantics=_mac_semantics,
+    # smul a, b, t ; add acc, t, acc  =>  custom MAC a, b, acc
+    asm_pattern=(r"^(\s*)smul (%\w+), (%\w+), (%\w+)\n"
+                 r"\s*add (%\w+), \4, \5$"),
+    asm_replacement=rf"\1custom {OPF_MAC}, \2, \3, \5",
+)
+
+SATADD_RECIPE = RewriteRecipe(
+    extension=ExtensionSpec("satadd", OPF_SATADD, slice_cost=150, cycles=1),
+    semantics=_satadd_semantics,
+    c_function="saturating_add",
+)
+
+BUILTIN_RECIPES = {
+    "popc": POPCOUNT_RECIPE,
+    "mac": MAC_RECIPE,
+    "satadd": SATADD_RECIPE,
+}
+
+
+def install_recipes(iu: IntegerUnit,
+                    config: ArchitectureConfig,
+                    recipes: dict[str, RewriteRecipe] | None = None) -> int:
+    """Register simulator semantics for every extension in *config*.
+
+    Returns the number of extensions installed.  Unknown extension names
+    raise — a config that names an accelerator nobody implemented is the
+    hardware equivalent of an unresolved symbol.
+    """
+    recipes = recipes or BUILTIN_RECIPES
+    installed = 0
+    for ext in config.extensions:
+        recipe = recipes.get(ext.name)
+        if recipe is None:
+            raise KeyError(f"no rewrite recipe implements extension "
+                           f"'{ext.name}'")
+        recipe.install(iu)
+        installed += 1
+    return installed

@@ -1,0 +1,212 @@
+"""Sim — the simulation box of Figure 1.
+
+"Based on the reconfigured architecture and the automatically rewritten
+application, simulation can provide additional instruction traces to
+assist the developer in evaluating the effectiveness of the current
+configuration."
+
+:class:`Simulator` runs an image on a standalone Liquid processor
+system — same CPU, caches, buses, boot ROM and memory as the FPX node,
+but with no network stack and no leon_ctrl, so it is the fast inner
+loop of architecture exploration and it can capture *instruction*
+traces (the FPX streams only memory traces off the board).  A
+:class:`SimReport` carries cycles, CPI, per-class instruction mix,
+cache statistics, and the raw traces for the Trace Analyzer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.trace import MemoryTrace, TraceRecorder
+from repro.bus.ahb import AhbBus
+from repro.bus.apb import ApbBridge
+from repro.cache import CacheController
+from repro.core.config import ArchitectureConfig
+from repro.core.rewriter import BUILTIN_RECIPES, install_recipes
+from repro.cpu import IntegerUnit
+from repro.cpu.isa import (
+    OP_BRANCH_SETHI,
+    OP_CALL,
+    OP_MEM,
+    OP2_BICC,
+    Op3,
+    Op3Mem,
+)
+from repro.mem.bootrom import BootRom, build_boot_rom
+from repro.mem.memmap import (
+    CYCLE_COUNTER_OFFSET,
+    IOPORT_OFFSET,
+    UART_OFFSET,
+    MemoryMap,
+)
+from repro.mem.sram import SramBank
+from repro.peripherals import Clock, CycleCounter, LedPort, Uart
+from repro.toolchain.objfile import Image
+
+_LOAD_OPS = {Op3Mem.LD, Op3Mem.LDUB, Op3Mem.LDUH, Op3Mem.LDSB, Op3Mem.LDSH,
+             Op3Mem.LDD, Op3Mem.LDSTUB, Op3Mem.SWAP}
+_STORE_OPS = {Op3Mem.ST, Op3Mem.STB, Op3Mem.STH, Op3Mem.STD}
+_MUL_DIV = {Op3.UMUL, Op3.UMULCC, Op3.SMUL, Op3.SMULCC,
+            Op3.UDIV, Op3.UDIVCC, Op3.SDIV, Op3.SDIVCC}
+
+
+def _classify(inst) -> str:
+    if inst.op == OP_CALL:
+        return "call"
+    if inst.op == OP_BRANCH_SETHI:
+        return "branch" if inst.op2 == OP2_BICC else "sethi"
+    if inst.op == OP_MEM:
+        if inst.op3 in _LOAD_OPS:
+            return "load"
+        if inst.op3 in _STORE_OPS:
+            return "store"
+        return "mem-other"
+    if inst.op3 in _MUL_DIV:
+        return "muldiv"
+    if inst.op3 in (Op3.SAVE, Op3.RESTORE):
+        return "window"
+    if inst.op3 in (Op3.CPOP1, Op3.CPOP2):
+        return "custom"
+    if inst.op3 in (Op3.JMPL, Op3.RETT, Op3.TICC):
+        return "jump"
+    return "alu"
+
+
+@dataclass
+class SimReport:
+    """What one simulated execution measured."""
+
+    cycles: int
+    instructions: int
+    instruction_mix: dict[str, int]
+    dcache: dict
+    icache: dict
+    memory_trace: MemoryTrace
+    result_word: int | None
+    uart_output: bytes
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"cycles       : {self.cycles}",
+            f"instructions : {self.instructions}",
+            f"CPI          : {self.cpi:.3f}",
+            f"D-cache      : {self.dcache['read_hits']} hits / "
+            f"{self.dcache['read_misses']} misses",
+            "instruction mix:",
+        ]
+        total = max(self.instructions, 1)
+        for name, count in sorted(self.instruction_mix.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<9} {count:>8}  ({count / total:.1%})")
+        return lines
+
+
+class Simulator:
+    """Standalone Liquid processor system (no network, no leon_ctrl)."""
+
+    def __init__(self, config: ArchitectureConfig | None = None,
+                 capture_memory_trace: bool = True, recipes=None):
+        self.config = config or ArchitectureConfig()
+        cfg = self.config
+        self.memmap = MemoryMap()
+        memmap = self.memmap
+
+        rom_info = build_boot_rom(memmap, cfg.nwindows, modified=True)
+        self.rom_info = rom_info
+        self.clock = Clock()
+        self.uart = Uart()
+        self.leds = LedPort(self.clock)
+        self.cycle_counter = CycleCounter(self.clock)
+
+        self.bus = AhbBus()
+        self.bus.attach(BootRom(memmap.prom_base, memmap.prom_size,
+                                rom_info.image),
+                        memmap.prom_base, memmap.prom_size, "prom")
+        self.sram = SramBank(memmap.sram_base, memmap.sram_size)
+        self.bus.attach(self.sram, memmap.sram_base, memmap.sram_size,
+                        "sram")
+        apb = ApbBridge(memmap.apb_base)
+        apb.attach(self.uart, UART_OFFSET, 0x10, "uart")
+        apb.attach(self.leds, IOPORT_OFFSET, 0x10, "ioport")
+        apb.attach(self.cycle_counter, CYCLE_COUNTER_OFFSET, 0x10,
+                   "cycle_counter")
+        self.bus.attach(apb, memmap.apb_base, memmap.apb_size, "apb")
+
+        self.icache = CacheController(cfg.icache, self.bus, memmap.cacheable,
+                                      name="icache")
+        self.dcache = CacheController(cfg.dcache, self.bus, memmap.cacheable,
+                                      name="dcache", prefetch=cfg.prefetch)
+        self.cpu = IntegerUnit(self.icache, self.dcache,
+                               nwindows=cfg.nwindows, timing=cfg.timing(),
+                               reset_pc=memmap.prom_base)
+        install_recipes(self.cpu, cfg, recipes or BUILTIN_RECIPES)
+
+        self.recorder = TraceRecorder() if capture_memory_trace else None
+        if self.recorder is not None:
+            self.recorder.attach(self.dcache)
+
+    # ------------------------------------------------------------------
+
+    def run(self, image: Image,
+            max_instructions: int = 50_000_000) -> SimReport:
+        """Boot, dispatch *image*, run it to completion, report."""
+        cpu = self.cpu
+        poll = self.rom_info.poll_address
+
+        # Boot to the polling loop.
+        cpu.run(max_instructions=100_000, until_pc=poll)
+
+        # Load the program and set the mailbox directly (the Sim box has
+        # no network: it plays leon_ctrl's role itself).
+        for base, blob in image.segments.items():
+            self.sram.host_write(base, blob)
+        self.sram.host_write_word(self.memmap.mailbox_start, image.entry)
+
+        # Instrument the program's execution only.
+        mix: Counter[str] = Counter()
+        cpu.on_retire = lambda pc, inst: mix.update((_classify(inst),))
+        if self.recorder is not None:
+            self.recorder.clear()
+
+        # Run to the program entry, snapshot, run until return-to-poll.
+        cpu.run(max_instructions=10_000, until_pc=image.entry)
+        start_cycles, start_instret = cpu.cycles, cpu.instret
+        mix.clear()
+        if self.recorder is not None:
+            self.recorder.clear()
+        cpu.run(max_instructions=max_instructions, until_pc=poll)
+        cpu.on_retire = None
+
+        # Clear the mailbox so the polling loop parks instead of
+        # re-dispatching (leon_ctrl's job on the real platform).
+        self.sram.host_write_word(self.memmap.mailbox_start, 0)
+
+        if self.recorder is not None:
+            trace = self.recorder.trace()
+        else:
+            trace = MemoryTrace(np.zeros(0, np.uint64), np.zeros(0, np.uint8),
+                                np.zeros(0, bool), np.zeros(0, bool))
+        return SimReport(
+            cycles=cpu.cycles - start_cycles,
+            instructions=cpu.instret - start_instret,
+            instruction_mix=dict(mix),
+            dcache=self.dcache.stats_dict(),
+            icache=self.icache.stats_dict(),
+            memory_trace=trace,
+            result_word=self.sram.host_read_word(self.memmap.result_addr),
+            uart_output=self.uart.transmitted(),
+        )
+
+
+def simulate(image: Image, config: ArchitectureConfig | None = None,
+             max_instructions: int = 50_000_000) -> SimReport:
+    """One-call Sim-box run: fresh simulator, one image, one report."""
+    return Simulator(config).run(image, max_instructions)

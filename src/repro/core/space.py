@@ -1,0 +1,129 @@
+"""ConfigurationSpace: the enumerable parameter space of Figure 1.
+
+"We are currently experimenting with an approach based on precompiled
+FPGA images for many points in a configuration space."  A space is a set
+of named dimensions over a base :class:`ArchitectureConfig`; iterating
+yields the cross product.  The paper's own experiment is
+:meth:`ConfigurationSpace.paper_cache_sweep`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.cache.cache import CacheGeometry
+from repro.core.config import ArchitectureConfig
+
+Setter = Callable[[ArchitectureConfig, object], ArchitectureConfig]
+
+
+def _set_dcache_size(config: ArchitectureConfig, size) -> ArchitectureConfig:
+    return config.with_dcache_size(int(size))
+
+
+def _set_icache_size(config: ArchitectureConfig, size) -> ArchitectureConfig:
+    return replace(config, icache=CacheGeometry(
+        size=int(size), line_size=config.icache.line_size,
+        ways=config.icache.ways, replacement=config.icache.replacement))
+
+
+def _set_dcache_ways(config: ArchitectureConfig, ways) -> ArchitectureConfig:
+    return replace(config, dcache=CacheGeometry(
+        size=config.dcache.size, line_size=config.dcache.line_size,
+        ways=int(ways), replacement="lru" if int(ways) > 1
+        else config.dcache.replacement))
+
+
+def _set_line_size(config: ArchitectureConfig, line) -> ArchitectureConfig:
+    return replace(
+        config,
+        dcache=CacheGeometry(config.dcache.size, int(line),
+                             config.dcache.ways, config.dcache.replacement),
+        icache=CacheGeometry(config.icache.size, int(line),
+                             config.icache.ways, config.icache.replacement),
+    )
+
+
+def _set_multiplier(config: ArchitectureConfig, mul) -> ArchitectureConfig:
+    return replace(config, multiplier=str(mul))
+
+
+def _set_nwindows(config: ArchitectureConfig, nw) -> ArchitectureConfig:
+    return replace(config, nwindows=int(nw))
+
+
+def _set_read_burst(config: ArchitectureConfig, words) -> ArchitectureConfig:
+    return replace(config, adapter_read_burst=int(words))
+
+
+def _set_prefetch(config: ArchitectureConfig, policy) -> ArchitectureConfig:
+    return replace(config, prefetch=str(policy))
+
+
+def _set_pipeline_depth(config: ArchitectureConfig, depth) -> ArchitectureConfig:
+    return replace(config, pipeline_depth=int(depth))
+
+
+#: Dimension name -> setter.  New dimensions register here.
+DIMENSION_SETTERS: dict[str, Setter] = {
+    "dcache_size": _set_dcache_size,
+    "icache_size": _set_icache_size,
+    "dcache_ways": _set_dcache_ways,
+    "line_size": _set_line_size,
+    "multiplier": _set_multiplier,
+    "nwindows": _set_nwindows,
+    "adapter_read_burst": _set_read_burst,
+    "prefetch": _set_prefetch,
+    "pipeline_depth": _set_pipeline_depth,
+}
+
+
+@dataclass
+class ConfigurationSpace:
+    """Cross product of dimension values over a base configuration."""
+
+    base: ArchitectureConfig = field(default_factory=ArchitectureConfig)
+    dimensions: dict[str, list] = field(default_factory=dict)
+
+    def add_dimension(self, name: str, values: list) -> "ConfigurationSpace":
+        if name not in DIMENSION_SETTERS:
+            raise KeyError(f"unknown dimension '{name}' "
+                           f"(have {sorted(DIMENSION_SETTERS)})")
+        if not values:
+            raise ValueError(f"dimension '{name}' needs at least one value")
+        self.dimensions[name] = list(values)
+        return self
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for values in self.dimensions.values():
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[ArchitectureConfig]:
+        names = list(self.dimensions)
+        for combo in itertools.product(*(self.dimensions[n] for n in names)):
+            config = self.base
+            for name, value in zip(names, combo):
+                config = DIMENSION_SETTERS[name](config, value)
+            yield config
+
+    def points(self) -> list[ArchitectureConfig]:
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # The paper's experiment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_cache_sweep(cls, base: ArchitectureConfig | None = None
+                          ) -> "ConfigurationSpace":
+        """§4: 'we changed the data cache size between 1KB and 16KB while
+        keeping the cache line size constant at 32B and the instruction
+        cache size constant at 1KB.'"""
+        space = cls(base or ArchitectureConfig())
+        space.add_dimension("dcache_size", [1024, 2048, 4096, 8192, 16384])
+        return space

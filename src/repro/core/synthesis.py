@@ -1,0 +1,221 @@
+"""Synthesis / place-and-route cost model → Bitfile (Figure 10, and the
+"~1 hour to synthesize" economics of the reconfiguration cache).
+
+The paper reports post-PAR utilization of the baseline Liquid Processor
+System on the Xilinx Virtex XCV2000E:
+
+    =============  ===================  ===========
+    Resource       Device Utilization   Percent
+    =============  ===================  ===========
+    Logic Slices   7900 of 19200        41 %
+    BlockRAMs      54 of 160            (reported)
+    External IOBs  309 of 404           (reported)
+    Frequency      30 MHz               —
+    =============  ===================  ===========
+
+The model is additive over components (FPX infrastructure, LEON integer
+unit, multiplier/divider options, per-cache control + RAM, custom
+extensions) with constants calibrated so the *baseline configuration
+reproduces Figure 10 exactly*; other points move in the directions real
+synthesis moves (bigger caches → more BlockRAMs and a slower clock,
+bigger multiplier → more slices but a faster multiply, etc.).  Synthesis
+time is the paper's ~1 hour, scaled mildly with area — charged in *model
+seconds*, which the reconfiguration server accumulates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache.cache import CacheGeometry
+from repro.core.config import ArchitectureConfig
+
+# Xilinx Virtex XCV2000E device capacity.
+DEVICE_SLICES = 19200
+DEVICE_BLOCK_RAMS = 160
+DEVICE_IOBS = 404
+BLOCK_RAM_BITS = 4096
+
+# Component area constants (slices), calibrated to Figure 10.
+FPX_INFRA_SLICES = 2650        # wrappers + CPP + SDRAM ctrl + leon_ctrl
+LEON_IU_SLICES = 3800          # integer unit, 8 windows
+SLICES_PER_EXTRA_WINDOW = 160
+PERIPHERAL_SLICES = 520        # UART, timers, IRQ ctrl, IOPORT, AHB/APB glue
+CACHE_CTRL_SLICES = 120        # per cache controller
+MULTIPLIER_SLICES = {"iterative": 150, "16x16": 450, "32x32": 1100}
+DIVIDER_SLICES = {"radix2": 220, "none": 0}
+PREFETCH_SLICES = {"none": 0, "nextline": 120, "stride": 260}
+PIPELINE_DEPTH_SLICES = {3: -250, 5: 0, 7: 350}  # pipeline registers
+
+# BlockRAM constants.
+FPX_INFRA_BRAMS = 38           # packet buffers, reassembly, SDRAM FIFOs
+LEON_IU_BRAMS_BASE = 2         # register file etc. at 8 windows
+TAG_BITS_OVERHEAD = 22         # tag + valid + replacement state per line
+
+# Timing model (MHz).
+BASE_FREQUENCY = 30.0
+PAPER_SYNTHESIS_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class DeviceUtilization:
+    """Post-PAR resource usage (the Figure 10 table for one bitfile)."""
+
+    slices: int
+    block_rams: int
+    iobs: int
+    frequency_mhz: float
+
+    @property
+    def slice_percent(self) -> float:
+        return 100.0 * self.slices / DEVICE_SLICES
+
+    @property
+    def block_ram_percent(self) -> float:
+        return 100.0 * self.block_rams / DEVICE_BLOCK_RAMS
+
+    @property
+    def iob_percent(self) -> float:
+        return 100.0 * self.iobs / DEVICE_IOBS
+
+    def fits(self) -> bool:
+        return (self.slices <= DEVICE_SLICES
+                and self.block_rams <= DEVICE_BLOCK_RAMS
+                and self.iobs <= DEVICE_IOBS)
+
+    def table_rows(self) -> list[tuple[str, str, str]]:
+        """Figure-10-shaped rows: (resource, utilization, percent)."""
+        return [
+            ("Logic Slices", f"{self.slices} of {DEVICE_SLICES}",
+             f"{self.slice_percent:.0f}%"),
+            ("BlockRAMs", f"{self.block_rams} of {DEVICE_BLOCK_RAMS}",
+             f"{self.block_ram_percent:.0f}%"),
+            ("External IOBs", f"{self.iobs} of {DEVICE_IOBS}",
+             f"{self.iob_percent:.0f}%"),
+            ("Frequency", f"{self.frequency_mhz:.0f} MHz", "NA"),
+        ]
+
+
+@dataclass(frozen=True)
+class Bitfile:
+    """A pre-generated FPGA image for one configuration."""
+
+    name: str
+    config: ArchitectureConfig
+    utilization: DeviceUtilization
+    synthesis_seconds: float
+    size_bytes: int = 1_261_980  # XCV2000E bitstream
+
+
+class SynthesisError(Exception):
+    """The configuration does not fit the device."""
+
+
+def _cache_brams(geometry: CacheGeometry) -> int:
+    data_bits = geometry.size * 8
+    lines = geometry.size // geometry.line_size
+    tag_bits = lines * TAG_BITS_OVERHEAD
+    return (math.ceil(data_bits / BLOCK_RAM_BITS)
+            + math.ceil(tag_bits / BLOCK_RAM_BITS))
+
+
+def _cache_slices(geometry: CacheGeometry) -> int:
+    return (CACHE_CTRL_SLICES + geometry.sets // 8
+            + 40 * (geometry.ways - 1))
+
+
+class SynthesisModel:
+    """Deterministic config → Bitfile transform (the Synthesis box of
+    Figure 1)."""
+
+    def synthesize(self, config: ArchitectureConfig) -> Bitfile:
+        utilization = self.estimate(config)
+        if not utilization.fits():
+            raise SynthesisError(
+                f"configuration '{config.key()}' does not fit the "
+                f"XCV2000E ({utilization.slices} slices, "
+                f"{utilization.block_rams} BlockRAMs)")
+        return Bitfile(
+            name=f"liquid_{config.key()}.bit",
+            config=config,
+            utilization=utilization,
+            synthesis_seconds=self.synthesis_seconds(config, utilization),
+        )
+
+    # -- area ---------------------------------------------------------------
+
+    def estimate(self, config: ArchitectureConfig) -> DeviceUtilization:
+        slices = (
+            FPX_INFRA_SLICES
+            + LEON_IU_SLICES
+            + SLICES_PER_EXTRA_WINDOW * (config.nwindows - 8)
+            + PERIPHERAL_SLICES
+            + MULTIPLIER_SLICES[config.multiplier]
+            + DIVIDER_SLICES[config.divider]
+            + _cache_slices(config.icache)
+            + _cache_slices(config.dcache)
+            + PREFETCH_SLICES[config.prefetch]
+            + PIPELINE_DEPTH_SLICES[config.pipeline_depth]
+            + sum(ext.slice_cost for ext in config.extensions)
+        )
+        block_rams = (
+            FPX_INFRA_BRAMS
+            + LEON_IU_BRAMS_BASE
+            + config.nwindows // 4
+            + _cache_brams(config.icache)
+            + _cache_brams(config.dcache)
+        )
+        return DeviceUtilization(
+            slices=slices,
+            block_rams=block_rams,
+            iobs=309,  # board pinout: independent of the configuration
+            frequency_mhz=self._frequency(config),
+        )
+
+    @staticmethod
+    def _frequency(config: ArchitectureConfig) -> float:
+        """Critical-path model: bigger/more-associative caches and wide
+        multipliers slow the clock; the baseline hits exactly 30 MHz."""
+        frequency = BASE_FREQUENCY
+        frequency -= 0.6 * max(0.0, math.log2(config.dcache.size / 4096))
+        frequency -= 0.6 * max(0.0, math.log2(config.icache.size / 1024))
+        frequency -= 0.4 * (config.dcache.ways - 1)
+        frequency -= 0.4 * (config.icache.ways - 1)
+        if config.multiplier == "32x32":
+            frequency -= 1.5
+        frequency -= 0.2 * len(config.extensions)
+        if config.prefetch == "stride":
+            frequency -= 0.2
+        frequency -= 0.15 * max(0, config.nwindows - 8)
+        from repro.core.config import PIPELINE_DEPTHS
+
+        frequency *= PIPELINE_DEPTHS[config.pipeline_depth]["clock_factor"]
+        return round(max(frequency, 10.0), 2)
+
+    # -- time ------------------------------------------------------------------
+
+    @staticmethod
+    def synthesis_seconds(config: ArchitectureConfig,
+                          utilization: DeviceUtilization) -> float:
+        """~1 hour per instance (paper), scaling mildly with design size,
+        with a deterministic per-config perturbation (real PAR time is
+        noisy; a *stable* digest of the key — not Python's salted
+        ``hash()`` — keeps the number identical across processes)."""
+        import zlib
+
+        scale = (utilization.slices / 7900.0) ** 1.2
+        digest = zlib.crc32(config.key().encode())
+        jitter = 1.0 + ((digest % 1000) / 1000.0 - 0.5) * 0.2
+        return round(PAPER_SYNTHESIS_SECONDS * scale * jitter, 1)
+
+
+def figure10_table(config: ArchitectureConfig | None = None) -> str:
+    """Render the Figure 10 table for *config* (baseline by default)."""
+    from repro.core.config import BASELINE
+
+    bitfile = SynthesisModel().synthesize(config or BASELINE)
+    lines = [f"{'Resources':<15}{'Device Utilization':<22}{'Utilization %':<12}"]
+    for resource, used, percent in bitfile.utilization.table_rows():
+        lines.append(f"{resource:<15}{used:<22}{percent:<12}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""LEON2-style SPARC V8 soft-core model (the paper's processor substrate)."""
+
+from repro.cpu.decode import DecodedInstruction, decode
+from repro.cpu.iu import IntegerUnit
+from repro.cpu.pipeline import PipelineModel, TimingConfig
+from repro.cpu.registers import ControlRegisters, RegisterFile
+from repro.cpu.traps import ErrorMode, TrapException, WatchdogExpired
+
+__all__ = [
+    "DecodedInstruction",
+    "decode",
+    "IntegerUnit",
+    "PipelineModel",
+    "TimingConfig",
+    "ControlRegisters",
+    "RegisterFile",
+    "ErrorMode",
+    "TrapException",
+    "WatchdogExpired",
+]

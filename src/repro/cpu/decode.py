@@ -1,0 +1,114 @@
+"""Instruction decoding: 32-bit words to :class:`DecodedInstruction`.
+
+Decoding is purely structural — field extraction per the three SPARC V8
+instruction formats.  Legality (privilege, unimplemented opcodes, CWP range
+checks) is the executor's job, because several of those checks depend on
+processor state.
+
+Decoded instructions are immutable and hashable, so the integer unit keeps
+a per-word decode cache: programs in the simulator re-execute the same hot
+words millions of times and re-decoding dominates the interpreter profile
+otherwise (a lesson straight from the "no optimization without measuring"
+workflow — the decode cache was added after profiling, and is covered by
+``tests/cpu/test_decode.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils import sign_extend
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedInstruction:
+    """All fields of an instruction word, format-agnostically.
+
+    ``op``/``op2``/``op3`` select the operation; register numbers and the
+    sign-extended immediate are pre-extracted.  ``disp30``/``disp22`` are
+    *word* displacements already sign-extended (not yet shifted).
+    """
+
+    word: int
+    op: int
+    rd: int
+    op2: int
+    op3: int
+    rs1: int
+    rs2: int
+    imm: bool           # i-bit: use simm13 instead of rs2
+    simm13: int         # sign-extended 13-bit immediate
+    asi: int            # alternate-space identifier (i = 0 memory forms)
+    imm22: int          # SETHI constant (unshifted)
+    disp22: int         # branch displacement, sign-extended words
+    disp30: int         # call displacement, sign-extended words
+    cond: int           # Bicc / Ticc condition field
+    annul: bool         # branch annul bit
+    opf: int            # FPop / CPop sub-opcode
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DecodedInstruction(word=0x{self.word:08x}, op={self.op})"
+
+
+def decode(word: int) -> DecodedInstruction:
+    """Decode one instruction word."""
+    op = (word >> 30) & 3
+    rd = (word >> 25) & 0x1F
+    op2 = (word >> 22) & 7
+    op3 = (word >> 19) & 0x3F
+    rs1 = (word >> 14) & 0x1F
+    rs2 = word & 0x1F
+    i_bit = bool((word >> 13) & 1)
+    return DecodedInstruction(
+        word=word,
+        op=op,
+        rd=rd,
+        op2=op2,
+        op3=op3,
+        rs1=rs1,
+        rs2=rs2,
+        imm=i_bit,
+        simm13=sign_extend(word, 13),
+        asi=(word >> 5) & 0xFF,
+        imm22=word & 0x3FFFFF,
+        disp22=sign_extend(word, 22),
+        disp30=sign_extend(word, 30),
+        cond=(word >> 25) & 0xF,
+        annul=bool((word >> 29) & 1),
+        opf=(word >> 5) & 0x1FF,
+    )
+
+
+class DecodeCache:
+    """Memoizing wrapper around :func:`decode`.
+
+    A plain dict keyed by instruction word.  Bounded: when the cache
+    exceeds *capacity* entries it is cleared wholesale (cheap, and hot
+    loops re-warm within one iteration).
+    """
+
+    __slots__ = ("_cache", "capacity", "hits", "misses")
+
+    def __init__(self, capacity: int = 65536):
+        self._cache: dict[int, DecodedInstruction] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, word: int) -> DecodedInstruction:
+        cached = self._cache.get(word)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if len(self._cache) >= self.capacity:
+            self._cache.clear()
+        inst = decode(word)
+        self._cache[word] = inst
+        return inst
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+__all__ = ["DecodedInstruction", "decode", "DecodeCache"]

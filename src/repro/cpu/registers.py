@@ -1,0 +1,228 @@
+"""LEON2 register state: windowed integer registers and control registers.
+
+The SPARC V8 integer unit exposes 8 global registers plus a sliding window
+of 24 registers (8 *out*, 8 *local*, 8 *in*) over a circular file of
+``NWINDOWS * 16`` registers.  ``SAVE`` decrements the current window
+pointer (CWP); ``RESTORE``/``RETT`` increment it.  A window whose bit is
+set in the Window Invalid Mask (WIM) may not become current — attempting
+to do so raises a window overflow/underflow trap.
+
+The LEON2 core shipped with ``NWINDOWS = 8``; the Liquid Architecture
+configuration space makes this a tunable parameter, so the file size here
+is a constructor argument.
+"""
+
+from __future__ import annotations
+
+from repro.cpu import isa
+from repro.utils import u32
+
+
+class RegisterWindowError(Exception):
+    """Raised for out-of-range register indices (a modelling bug, not a trap)."""
+
+
+class RegisterFile:
+    """Windowed SPARC integer register file.
+
+    Registers are addressed 0..31 relative to the current window:
+
+    * 0..7   — globals (``%g0``–``%g7``); ``%g0`` reads as zero.
+    * 8..15  — outs (``%o0``–``%o7``); become the *ins* of the next window.
+    * 16..23 — locals (``%l0``–``%l7``).
+    * 24..31 — ins (``%i0``–``%i7``).
+    """
+
+    __slots__ = ("nwindows", "cwp", "_globals", "_window_regs")
+
+    def __init__(self, nwindows: int = isa.DEFAULT_NWINDOWS):
+        if not (2 <= nwindows <= 32):
+            raise ValueError(f"NWINDOWS must be in [2, 32], got {nwindows}")
+        self.nwindows = nwindows
+        self.cwp = 0
+        self._globals = [0] * 8
+        # Circular file: window w uses slots [w*16, w*16+32) mod size,
+        # where the low 16 are the outs+locals and the next 16 (i.e. the
+        # outs+locals of window w+1) alias this window's ins.
+        self._window_regs = [0] * (nwindows * 16)
+
+    # -- raw slot resolution -------------------------------------------------
+
+    def _slot(self, reg: int) -> int:
+        """Map window-relative register 8..31 to a circular-file slot."""
+        # outs of window w live at w*16+0..7, locals at w*16+8..15,
+        # ins alias the outs of window (w+1) mod nwindows.
+        if 8 <= reg <= 15:  # outs
+            return (self.cwp * 16 + (reg - 8)) % (self.nwindows * 16)
+        if 16 <= reg <= 23:  # locals
+            return (self.cwp * 16 + 8 + (reg - 16)) % (self.nwindows * 16)
+        if 24 <= reg <= 31:  # ins = outs of next window
+            return (((self.cwp + 1) % self.nwindows) * 16 + (reg - 24)) % (
+                self.nwindows * 16
+            )
+        raise RegisterWindowError(f"register index {reg} is not windowed")
+
+    # -- architectural access ------------------------------------------------
+
+    def read(self, reg: int) -> int:
+        """Read window-relative register *reg* (0..31)."""
+        if reg == 0:
+            return 0
+        if reg < 8:
+            return self._globals[reg]
+        if reg < 32:
+            return self._window_regs[self._slot(reg)]
+        raise RegisterWindowError(f"register index {reg} out of range")
+
+    def write(self, reg: int, value: int) -> None:
+        """Write window-relative register *reg*; writes to ``%g0`` vanish."""
+        if reg == 0:
+            return
+        value = u32(value)
+        if reg < 8:
+            self._globals[reg] = value
+        elif reg < 32:
+            self._window_regs[self._slot(reg)] = value
+        else:
+            raise RegisterWindowError(f"register index {reg} out of range")
+
+    def read_window(self, cwp: int, reg: int) -> int:
+        """Read register *reg* as seen from window *cwp* (trap handlers)."""
+        saved = self.cwp
+        self.cwp = cwp % self.nwindows
+        try:
+            return self.read(reg)
+        finally:
+            self.cwp = saved
+
+    def write_window(self, cwp: int, reg: int, value: int) -> None:
+        """Write register *reg* as seen from window *cwp*."""
+        saved = self.cwp
+        self.cwp = cwp % self.nwindows
+        try:
+            self.write(reg, value)
+        finally:
+            self.cwp = saved
+
+    def snapshot(self) -> dict[str, int]:
+        """Window-relative view of all 32 registers, for debugging/tests."""
+        names = (
+            [f"g{i}" for i in range(8)]
+            + [f"o{i}" for i in range(8)]
+            + [f"l{i}" for i in range(8)]
+            + [f"i{i}" for i in range(8)]
+        )
+        return {name: self.read(i) for i, name in enumerate(names)}
+
+
+class ControlRegisters:
+    """PSR, WIM, TBR and Y — the SPARC V8 state registers.
+
+    The PSR is stored as a single 32-bit value; properties expose the
+    fields used by the executor.  ``impl``/``ver`` read back the LEON2
+    identification values regardless of what was written, matching the
+    hardware's read-only fields.
+    """
+
+    __slots__ = ("psr", "wim", "tbr", "y", "nwindows")
+
+    def __init__(self, nwindows: int = isa.DEFAULT_NWINDOWS):
+        self.nwindows = nwindows
+        self.psr = (
+            (isa.LEON_IMPL << isa.PSR_IMPL_SHIFT)
+            | (isa.LEON_VER << isa.PSR_VER_SHIFT)
+            | (1 << isa.PSR_S_SHIFT)  # reset enters supervisor mode
+        )
+        self.wim = 0
+        self.tbr = 0
+        self.y = 0
+
+    # -- PSR fields ----------------------------------------------------------
+
+    @property
+    def cwp(self) -> int:
+        return self.psr & 0x1F
+
+    @cwp.setter
+    def cwp(self, value: int) -> None:
+        self.psr = (self.psr & ~0x1F) | (value % self.nwindows)
+
+    @property
+    def et(self) -> bool:
+        return bool(self.psr & (1 << isa.PSR_ET_SHIFT))
+
+    @et.setter
+    def et(self, value: bool) -> None:
+        mask = 1 << isa.PSR_ET_SHIFT
+        self.psr = (self.psr | mask) if value else (self.psr & ~mask)
+
+    @property
+    def s(self) -> bool:
+        return bool(self.psr & (1 << isa.PSR_S_SHIFT))
+
+    @s.setter
+    def s(self, value: bool) -> None:
+        mask = 1 << isa.PSR_S_SHIFT
+        self.psr = (self.psr | mask) if value else (self.psr & ~mask)
+
+    @property
+    def ps(self) -> bool:
+        return bool(self.psr & (1 << isa.PSR_PS_SHIFT))
+
+    @ps.setter
+    def ps(self, value: bool) -> None:
+        mask = 1 << isa.PSR_PS_SHIFT
+        self.psr = (self.psr | mask) if value else (self.psr & ~mask)
+
+    @property
+    def pil(self) -> int:
+        return (self.psr >> isa.PSR_PIL_SHIFT) & 0xF
+
+    @pil.setter
+    def pil(self, value: int) -> None:
+        self.psr = (self.psr & ~(0xF << isa.PSR_PIL_SHIFT)) | (
+            (value & 0xF) << isa.PSR_PIL_SHIFT
+        )
+
+    # -- condition codes -----------------------------------------------------
+
+    @property
+    def icc(self) -> tuple[int, int, int, int]:
+        """Return ``(n, z, v, c)`` as 0/1 ints."""
+        return (
+            (self.psr >> 23) & 1,
+            (self.psr >> 22) & 1,
+            (self.psr >> 21) & 1,
+            (self.psr >> 20) & 1,
+        )
+
+    def set_icc(self, n: int, z: int, v: int, c: int) -> None:
+        self.psr = (self.psr & ~(0xF << isa.PSR_ICC_SHIFT)) | (
+            ((n & 1) << 23) | ((z & 1) << 22) | ((v & 1) << 21) | ((c & 1) << 20)
+        )
+
+    def write_psr(self, value: int) -> None:
+        """WRPSR semantics: impl/ver are read-only; CWP is range-checked
+        by the caller (illegal_instruction if >= NWINDOWS)."""
+        keep = (0xF << isa.PSR_IMPL_SHIFT) | (0xF << isa.PSR_VER_SHIFT)
+        self.psr = (self.psr & keep) | (u32(value) & ~keep)
+
+    # -- TBR -----------------------------------------------------------------
+
+    @property
+    def tba(self) -> int:
+        """Trap base address (TBR bits 31:12)."""
+        return self.tbr & 0xFFFFF000
+
+    @tba.setter
+    def tba(self, value: int) -> None:
+        self.tbr = (self.tbr & 0xFFF) | (u32(value) & 0xFFFFF000)
+
+    @property
+    def tt(self) -> int:
+        """Trap type (TBR bits 11:4)."""
+        return (self.tbr >> 4) & 0xFF
+
+    @tt.setter
+    def tt(self, value: int) -> None:
+        self.tbr = (self.tbr & ~0xFF0) | ((value & 0xFF) << 4)

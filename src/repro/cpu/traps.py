@@ -1,0 +1,93 @@
+"""SPARC V8 trap model used by the LEON2 integer unit.
+
+Traps are implemented as Python exceptions raised out of the instruction
+executor and caught by the integer-unit step loop, which then performs the
+architectural trap entry sequence (SPARC V8 chapter 7):
+
+* ``ET <- 0``, ``PS <- S``, ``S <- 1``;
+* ``CWP <- (CWP - 1) mod NWINDOWS`` (no WIM check on trap entry);
+* ``r[17]/r[18]`` (``%l1``/``%l2``) of the *new* window get PC / nPC;
+* ``TBR.tt`` is set and control transfers to TBR.
+
+If a trap occurs while ``ET = 0`` the processor enters *error mode* and
+halts — on the FPX, the external leon_ctrl circuitry would observe this
+and emit an error packet (see :mod:`repro.fpx.leon_ctrl`).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Trap
+
+
+class TrapException(Exception):
+    """An architectural trap request carrying the trap type.
+
+    ``tt`` is the 8-bit trap-type written into TBR.  For software traps
+    (Ticc) the executor pre-adds :data:`Trap.TRAP_INSTRUCTION_BASE`.
+    """
+
+    def __init__(self, tt: int, detail: str = ""):
+        self.tt = int(tt)
+        self.detail = detail
+        super().__init__(f"trap tt=0x{self.tt:02x} {detail}".strip())
+
+
+class ErrorMode(Exception):
+    """Processor entered error mode (trap with ET = 0); execution halts."""
+
+    def __init__(self, tt: int, pc: int):
+        self.tt = tt
+        self.pc = pc
+        super().__init__(f"error mode: trap tt=0x{tt:02x} at pc=0x{pc:08x}")
+
+
+class WatchdogExpired(Exception):
+    """The run loop exceeded its instruction budget (runaway program)."""
+
+
+def illegal_instruction(detail: str = "") -> TrapException:
+    return TrapException(Trap.ILLEGAL_INSTRUCTION, detail)
+
+
+def privileged_instruction(detail: str = "") -> TrapException:
+    return TrapException(Trap.PRIVILEGED_INSTRUCTION, detail)
+
+
+def mem_address_not_aligned(addr: int) -> TrapException:
+    return TrapException(Trap.MEM_ADDRESS_NOT_ALIGNED, f"addr=0x{addr:08x}")
+
+
+def data_access_exception(addr: int) -> TrapException:
+    return TrapException(Trap.DATA_ACCESS, f"addr=0x{addr:08x}")
+
+
+def instruction_access_exception(addr: int) -> TrapException:
+    return TrapException(Trap.INSTRUCTION_ACCESS, f"addr=0x{addr:08x}")
+
+
+def window_overflow() -> TrapException:
+    return TrapException(Trap.WINDOW_OVERFLOW)
+
+
+def window_underflow() -> TrapException:
+    return TrapException(Trap.WINDOW_UNDERFLOW)
+
+
+def division_by_zero() -> TrapException:
+    return TrapException(Trap.DIVISION_BY_ZERO)
+
+
+def tag_overflow() -> TrapException:
+    return TrapException(Trap.TAG_OVERFLOW)
+
+
+def fp_disabled() -> TrapException:
+    return TrapException(Trap.FP_DISABLED)
+
+
+def cp_disabled() -> TrapException:
+    return TrapException(Trap.CP_DISABLED)
+
+
+def software_trap(number: int) -> TrapException:
+    return TrapException(Trap.TRAP_INSTRUCTION_BASE + (number & 0x7F))

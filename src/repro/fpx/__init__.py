@@ -1,0 +1,30 @@
+"""FPX platform substrate: NID, RAD, wrappers, CPP, leon_ctrl, platform."""
+
+from repro.fpx.cpp import ControlPacketProcessor
+from repro.fpx.leon_ctrl import GatedSram, LeonController
+from repro.fpx.nid import FourPortSwitch, VirtualCircuit
+from repro.fpx.packet_gen import PacketGenerator
+from repro.fpx.platform import (
+    DEFAULT_CONTROL_PORT,
+    DEFAULT_DEVICE_IP,
+    FPXPlatform,
+    PlatformConfig,
+)
+from repro.fpx.rad import Rad
+from repro.fpx.wrappers import LayeredProtocolWrappers, UnwrappedPayload
+
+__all__ = [
+    "ControlPacketProcessor",
+    "GatedSram",
+    "LeonController",
+    "FourPortSwitch",
+    "VirtualCircuit",
+    "PacketGenerator",
+    "DEFAULT_CONTROL_PORT",
+    "DEFAULT_DEVICE_IP",
+    "FPXPlatform",
+    "PlatformConfig",
+    "Rad",
+    "LayeredProtocolWrappers",
+    "UnwrappedPayload",
+]

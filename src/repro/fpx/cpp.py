@@ -1,0 +1,111 @@
+"""Control Packet Processor (CPP) — Figure 3's modified-MP3 ingress module.
+
+"The Control Packet Processor is responsible for routing internet traffic
+that contains LEON specific packets (command codes) to the LEON
+controller."  The CPP sits behind the layered wrappers: payloads arriving
+on the LEON control port are decoded into commands and executed against
+:class:`~repro.fpx.leon_ctrl.LeonController`; responses go out through
+the packet generator.  Traffic on other ports is not ours and is counted
+and passed over (on the real FPX it would continue through the NID).
+"""
+
+from __future__ import annotations
+
+from repro.fpx.leon_ctrl import LeonController
+from repro.fpx.packet_gen import PacketGenerator
+from repro.fpx.wrappers import UnwrappedPayload
+from repro.net import protocol
+from repro.net.protocol import (
+    LoadChunk,
+    ProtocolError,
+    ReadRequest,
+    RestartRequest,
+    StartRequest,
+    StatusRequest,
+    TraceRequest,
+)
+
+ERROR_MALFORMED = 0x10
+ERROR_NO_PROGRAM = 0x11
+ERROR_READ_FAILED = 0x12
+
+
+class ControlPacketProcessor:
+    def __init__(self, leon_ctrl: LeonController, packet_gen: PacketGenerator,
+                 control_port: int, restart_handler=None,
+                 trace_source=None):
+        self.leon_ctrl = leon_ctrl
+        self.packet_gen = packet_gen
+        self.control_port = control_port
+        # Called on a RESTART command; the platform wires this to a full
+        # processor reset (leon_ctrl.reset() alone cannot reach the IU).
+        self.restart_handler = restart_handler
+        # Callable returning the serialized instrumented trace (or None
+        # when tracing is off) — Figure 1's trace-streaming source.
+        self.trace_source = trace_source
+        self.commands_handled = 0
+        self.foreign_payloads = 0
+        self.malformed = 0
+
+    def handle(self, unwrapped: UnwrappedPayload) -> bool:
+        """Process one unwrapped payload; True if it was a LEON command."""
+        if unwrapped.dst_port != self.control_port:
+            self.foreign_payloads += 1
+            return False
+        self.packet_gen.remember_requester(unwrapped.src_ip,
+                                           unwrapped.src_port)
+        try:
+            command = protocol.decode_command(unwrapped.payload)
+        except ProtocolError as exc:
+            self.malformed += 1
+            self.packet_gen.send_to_requester(
+                protocol.encode_error(ERROR_MALFORMED, str(exc)))
+            return True
+        self.commands_handled += 1
+        self._execute(command)
+        return True
+
+    def _execute(self, command) -> None:
+        leon = self.leon_ctrl
+        gen = self.packet_gen
+        if isinstance(command, StatusRequest):
+            state, cycles = leon.status()
+            gen.send_to_requester(
+                protocol.encode_status_response(state, cycles))
+        elif isinstance(command, RestartRequest):
+            if self.restart_handler is not None:
+                self.restart_handler()
+            else:
+                leon.reset()
+            gen.send_to_requester(protocol.encode_restarted())
+        elif isinstance(command, LoadChunk):
+            received, total = leon.handle_load_chunk(command)
+            gen.send_to_requester(protocol.encode_load_ack(received, total))
+        elif isinstance(command, StartRequest):
+            entry = leon.start(command.entry)
+            if entry is None:
+                gen.send_to_requester(
+                    protocol.encode_error(ERROR_NO_PROGRAM,
+                                          "no complete program loaded"))
+            else:
+                gen.send_to_requester(protocol.encode_started(entry))
+        elif isinstance(command, TraceRequest):
+            blob = self.trace_source() if self.trace_source else None
+            if blob is None:
+                gen.send_to_requester(protocol.encode_error(
+                    ERROR_READ_FAILED, "tracing is not enabled"))
+            else:
+                window = blob[command.offset:command.offset + command.length]
+                gen.send_to_requester(protocol.encode_trace_data(
+                    len(blob), command.offset, window))
+        elif isinstance(command, ReadRequest):
+            data = leon.read_memory(command.address, command.length)
+            if data is None:
+                gen.send_to_requester(
+                    protocol.encode_error(ERROR_READ_FAILED,
+                                          f"read 0x{command.address:08x}"))
+            else:
+                gen.send_to_requester(
+                    protocol.encode_memory_data(command.address, data))
+        else:  # pragma: no cover - decode_command is exhaustive
+            raise AssertionError(f"unhandled command {command!r}")

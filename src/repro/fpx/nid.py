@@ -1,0 +1,83 @@
+"""Network Interface Device (NID): the FPX's four-port switch.
+
+Figure 2(a): the NID connects two network line interfaces, the switch
+fabric and the RAD through per-port virtual circuits, and also carries
+the control cell processor that reprograms the RAD over the network.
+Here it is a frame switch with a VC-style forwarding table: frames
+arriving on a port are matched against the table and forwarded to the
+bound handler, with flood-to-RAD as the default for unmatched traffic
+(the Liquid system binds the RAD handler to the device's IP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+PORTS = ("linecard0", "linecard1", "switch", "rad")
+
+FrameHandler = Callable[[str, bytes], None]
+
+
+@dataclass(frozen=True)
+class VirtualCircuit:
+    """Forwarding entry: frames from *ingress* matching *match* (a
+    predicate over the frame bytes) go to *egress*."""
+
+    ingress: str
+    egress: str
+    match: Callable[[bytes], bool] = lambda frame: True
+    name: str = ""
+
+
+@dataclass
+class NidStats:
+    forwarded: int = 0
+    dropped: int = 0
+    per_port_in: dict[str, int] = field(default_factory=dict)
+    per_port_out: dict[str, int] = field(default_factory=dict)
+
+
+class FourPortSwitch:
+    """The NID's switching core."""
+
+    def __init__(self):
+        self._handlers: dict[str, FrameHandler] = {}
+        self._circuits: list[VirtualCircuit] = []
+        self.default_egress: str | None = "rad"
+        self.stats = NidStats()
+
+    def attach(self, port: str, handler: FrameHandler) -> None:
+        if port not in PORTS:
+            raise ValueError(f"unknown NID port '{port}' (have {PORTS})")
+        self._handlers[port] = handler
+
+    def add_circuit(self, circuit: VirtualCircuit) -> None:
+        for port in (circuit.ingress, circuit.egress):
+            if port not in PORTS:
+                raise ValueError(f"unknown NID port '{port}'")
+        self._circuits.append(circuit)
+
+    def ingress(self, port: str, frame: bytes) -> None:
+        """A frame arrives on *port*; forward it per the VC table."""
+        if port not in PORTS:
+            raise ValueError(f"unknown NID port '{port}'")
+        self.stats.per_port_in[port] = self.stats.per_port_in.get(port, 0) + 1
+        egress = None
+        for circuit in self._circuits:
+            if circuit.ingress == port and circuit.match(frame):
+                egress = circuit.egress
+                break
+        if egress is None:
+            egress = self.default_egress
+        if egress is None or egress == port:
+            self.stats.dropped += 1
+            return
+        handler = self._handlers.get(egress)
+        if handler is None:
+            self.stats.dropped += 1
+            return
+        self.stats.forwarded += 1
+        self.stats.per_port_out[egress] = \
+            self.stats.per_port_out.get(egress, 0) + 1
+        handler(port, frame)

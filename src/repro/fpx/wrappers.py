@@ -1,0 +1,92 @@
+"""Layered Protocol Wrappers (Braun, Lockwood & Waldvogel — paper ref [7]).
+
+On the FPX, a stack of hardware wrappers parses each arriving cell/frame
+level by level — ATM/AAL5, IP, UDP — and hands application modules a
+clean payload, then re-wraps outgoing payloads.  Here the same layering
+is a pair of codec pipelines over the byte-exact packet classes in
+:mod:`repro.net.packets`, with per-layer error counters (malformed frames
+are dropped exactly like the hardware wrappers drop bad checksums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.packets import (
+    IP_PROTO_UDP,
+    Ipv4Packet,
+    PacketError,
+    UdpDatagram,
+    build_udp_packet,
+    parse_ip,
+)
+
+
+@dataclass
+class WrapperStats:
+    frames_in: int = 0
+    frames_out: int = 0
+    bad_ip: int = 0
+    bad_udp: int = 0
+    not_for_us: int = 0
+    non_udp: int = 0
+
+
+@dataclass(frozen=True)
+class UnwrappedPayload:
+    """What the wrappers deliver to the application module."""
+
+    payload: bytes
+    src_ip: int
+    src_port: int
+    dst_port: int
+
+
+@dataclass
+class LayeredProtocolWrappers:
+    """IP + UDP wrapper pair bound to the device's address."""
+
+    device_ip: int
+    stats: WrapperStats = field(default_factory=WrapperStats)
+    accept_any_ip: bool = False
+
+    @classmethod
+    def for_address(cls, ip_text: str) -> "LayeredProtocolWrappers":
+        return cls(device_ip=parse_ip(ip_text))
+
+    # -- inbound -----------------------------------------------------------
+
+    def unwrap(self, frame: bytes) -> UnwrappedPayload | None:
+        """Parse one network frame; None means dropped (with a counter)."""
+        self.stats.frames_in += 1
+        try:
+            ip = Ipv4Packet.decode(frame)
+        except PacketError:
+            self.stats.bad_ip += 1
+            return None
+        if not self.accept_any_ip and ip.dst_ip != self.device_ip:
+            self.stats.not_for_us += 1
+            return None
+        if ip.protocol != IP_PROTO_UDP:
+            self.stats.non_udp += 1
+            return None
+        try:
+            udp = UdpDatagram.decode(ip.payload, ip.src_ip, ip.dst_ip)
+        except PacketError:
+            self.stats.bad_udp += 1
+            return None
+        return UnwrappedPayload(
+            payload=udp.payload,
+            src_ip=ip.src_ip,
+            src_port=udp.src_port,
+            dst_port=udp.dst_port,
+        )
+
+    # -- outbound ------------------------------------------------------------
+
+    def wrap(self, payload: bytes, dst_ip: int, dst_port: int,
+             src_port: int) -> bytes:
+        """Format an outgoing payload into a complete IP/UDP frame."""
+        self.stats.frames_out += 1
+        return build_udp_packet(self.device_ip, dst_ip, src_port, dst_port,
+                                payload, identification=self.stats.frames_out)

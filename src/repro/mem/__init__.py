@@ -1,0 +1,5 @@
+"""Memory substrate: memory map, SRAM/SDRAM models, AHB adapter, boot ROM."""
+
+from repro.mem.interface import BusError, FlatMemory, MemoryPort
+
+__all__ = ["BusError", "FlatMemory", "MemoryPort"]

@@ -1,0 +1,181 @@
+"""AHB ↔ FPX-SDRAM bridge — the adapter the paper's §3.2 is about.
+
+The design problems the paper describes, and how this model reproduces
+each:
+
+* **Bus width mismatch** — AHB is 32-bit, the FPX SDRAM controller is
+  64-bit.  Reads select the appropriate 32-bit half of each 64-bit beat
+  (wasting half the bandwidth); writes of less than 64 bits force a
+  **read-modify-write**: read the 64-bit word (one handshake), merge the
+  bytes, write it back (a second handshake) — "significantly impairing
+  performance".
+
+* **Burst-length mismatch** — AHB INCR bursts have unspecified length,
+  but the FPX controller needs the burst length up front.  Simulation
+  showed LEON bursts are ≤ 4 words, so the adapter *always requests a
+  4-word (2-beat) read burst*: a couple of cycles are wasted when fewer
+  words were needed, but a handshake is saved for each full 4-word group.
+  Longer sequential runs (an 8-word cache-line fill) take one additional
+  handshake per 4-word group.
+
+* **Write bursts are disallowed** (burst length unknown ahead of time
+  would risk memory integrity), so every write is a standalone RMW.
+
+``read_burst_words`` exists so the ablation benchmark can compare the
+paper's fixed-4 policy against naive single-word handshakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.sdram import SdramPort
+from repro.utils import u32
+
+
+@dataclass(frozen=True)
+class AdapterConfig:
+    """Adapter policy knobs (§3.2 design choices)."""
+
+    read_burst_words: int = 4   # fixed speculative read burst (32-bit words)
+    allow_write_burst: bool = False
+
+    def __post_init__(self) -> None:
+        if self.read_burst_words not in (1, 2, 4, 8, 16):
+            raise ValueError("read_burst_words must be 1/2/4/8/16")
+
+
+class AhbSdramAdapter:
+    """AHB slave in front of one FPX SDRAM controller port.
+
+    The adapter keeps the most recent speculative read group as a
+    single-entry stream buffer: the AHB beats of one burst (and the
+    back-to-back sequential reads of a line fill) hit it without a new
+    handshake, which is precisely the benefit the paper's fixed-length
+    read burst buys.
+    """
+
+    supports_write_burst = False  # honoured by AhbBus.write_burst
+
+    def __init__(self, port: SdramPort, base: int, size: int,
+                 config: AdapterConfig | None = None):
+        self.port = port
+        self.base = base
+        self.size = size
+        self.config = config or AdapterConfig()
+        # Stream buffer: base address + the 32-bit words of the last group.
+        self._buffer_base: int | None = None
+        self._buffer_words: list[int] = []
+        self.handshakes_saved = 0
+        self.rmw_writes = 0
+
+    # -- geometry helpers -------------------------------------------------
+
+    def _group_span(self) -> int:
+        return self.config.read_burst_words * 4
+
+    def _fetch_group(self, address: int) -> tuple[list[int], int]:
+        """Fetch the aligned group containing *address* from SDRAM."""
+        span = self._group_span()
+        group_base = address & ~(span - 1)
+        beats = max(span // 8, 1)
+        if span >= 8:
+            values64, cycles = self.port.read_burst(group_base, beats)
+            words = []
+            for value in values64:
+                words.append((value >> 32) & 0xFFFF_FFFF)
+                words.append(value & 0xFFFF_FFFF)
+        else:
+            # 1-word policy: still must read a full 64-bit beat.
+            beat_base = address & ~7
+            values64, cycles = self.port.read_burst(beat_base, 1)
+            word_index = (address >> 2) & 1
+            words = [(values64[0] >> (32 * (1 - word_index))) & 0xFFFF_FFFF]
+            group_base = beat_base + word_index * 4
+        self._buffer_base = group_base
+        self._buffer_words = words
+        return words, cycles
+
+    def _buffered_word(self, address: int) -> int | None:
+        if self._buffer_base is None:
+            return None
+        index = (address - self._buffer_base) >> 2
+        if 0 <= index < len(self._buffer_words) and \
+                self._buffer_base <= address < \
+                self._buffer_base + len(self._buffer_words) * 4:
+            return self._buffer_words[index]
+        return None
+
+    # -- AHB slave interface ------------------------------------------------
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        word_addr = address & ~3
+        word = self._buffered_word(word_addr)
+        cycles = 0
+        if word is None:
+            _, cycles = self._fetch_group(word_addr)
+            word = self._buffered_word(word_addr)
+            assert word is not None
+        else:
+            self.handshakes_saved += 1
+        if size == 4:
+            return word, cycles
+        shift = (4 - (address & 3) - size) * 8
+        return (word >> shift) & ((1 << (8 * size)) - 1), cycles
+
+    def read_burst(self, address: int, nwords: int) -> tuple[list[int], int]:
+        words: list[int] = []
+        cycles = 0
+        for i in range(nwords):
+            word, extra = self.read(address + 4 * i, 4)
+            words.append(word)
+            cycles += extra
+        return words, cycles
+
+    def write(self, address: int, size: int, value: int) -> int:
+        """Read-modify-write of the containing 64-bit word (two handshakes)."""
+        beat_base = address & ~7
+        values64, read_cycles = self.port.read_burst(beat_base, 1)
+        merged = values64[0]
+        bit_offset = (8 - (address & 7) - size) * 8
+        mask = ((1 << (8 * size)) - 1) << bit_offset
+        merged = (merged & ~mask) | ((u32(value) << bit_offset) & mask)
+        write_cycles = self.port.write_burst(beat_base, [merged])
+        self.rmw_writes += 1
+        self._invalidate_buffer(beat_base)
+        return read_cycles + write_cycles
+
+    def write_burst(self, address: int, words: list[int]) -> int:
+        if not self.config.allow_write_burst:
+            raise RuntimeError("write bursts are disallowed by the adapter")
+        cycles = 0
+        # Even when enabled (ablation only), pairs of aligned words can be
+        # coalesced into single 64-bit beats; ragged edges still need RMW.
+        index = 0
+        while index < len(words):
+            word_addr = address + 4 * index
+            if word_addr % 8 == 0 and index + 1 < len(words):
+                beat = (u32(words[index]) << 32) | u32(words[index + 1])
+                cycles += self.port.write_burst(word_addr, [beat])
+                self._invalidate_buffer(word_addr)
+                index += 2
+            else:
+                cycles += self.write(word_addr, 4, words[index])
+                index += 1
+        return cycles
+
+    def _invalidate_buffer(self, beat_base: int) -> None:
+        if self._buffer_base is None:
+            return
+        span = len(self._buffer_words) * 4
+        if self._buffer_base <= beat_base < self._buffer_base + span or \
+                self._buffer_base <= beat_base + 7 < self._buffer_base + span:
+            self._buffer_base = None
+            self._buffer_words = []
+
+    def stats(self) -> dict:
+        return {
+            "handshakes_saved": self.handshakes_saved,
+            "rmw_writes": self.rmw_writes,
+            "read_burst_words": self.config.read_burst_words,
+        }

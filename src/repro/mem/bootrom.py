@@ -1,0 +1,295 @@
+"""LEON boot PROM: trap table + boot code, original and modified.
+
+The paper's key firmware change (Figure 5) replaces the stock LEON boot
+loop ("wait for UART event") with a *polling* loop: flush the cache, load
+the word at the mailbox address (0x4000_0000), and spin while it is zero.
+The external leon_ctrl circuitry releases the processor by writing the
+user program's start address there; the boot code then jumps to it.  The
+user program's epilogue jumps back to the polling loop, which leon_ctrl
+detects by snooping the address bus.
+
+The ROM is genuine SPARC V8 code assembled by our own toolchain at build
+time.  Layout (TBA = 0):
+
+* ``0x0000``–``0x0FFF`` — the 256-entry trap table (16 bytes per entry);
+* reset vectors to ``boot_start``; window overflow/underflow vector to
+  real spill/fill handlers (so compiled programs can nest calls deeper
+  than NWINDOWS); software trap 0 (``ta 0``) is the program-exit syscall;
+  everything else parks at ``error_state``, which leon_ctrl reports as an
+  error packet (paper §4.1's debug mechanism);
+* ``0x1000``+ — boot code and handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.interface import BusError
+from repro.mem.memmap import MemoryMap
+from repro.toolchain.asm import assemble
+from repro.toolchain.linker import Linker, MemoryMapScript
+
+
+@dataclass(frozen=True)
+class BootRomInfo:
+    """Addresses the platform (leon_ctrl, tests) needs to know about."""
+
+    image: bytes
+    poll_address: int      # the CheckReady loop head (snooped by leon_ctrl)
+    error_address: int     # the error_state loop head
+    boot_start: int
+    symbols: dict
+
+
+_TRAP_TABLE_HEADER = """
+    .text
+    .global _trap_table
+_trap_table:
+"""
+
+# Handlers that get dedicated trap-table entries.
+_VECTORED = {
+    0x00: "boot_start",          # reset
+    0x05: "window_overflow",
+    0x06: "window_underflow",
+    0x80: "syscall_exit",        # ta 0: program exit back to polling loop
+}
+
+
+def _trap_table_source() -> str:
+    """Generate the 256-entry trap table (each entry is 4 instructions)."""
+    lines = [_TRAP_TABLE_HEADER]
+    for tt in range(256):
+        target = _VECTORED.get(tt, "error_state")
+        lines.append(f"    ba {target}")
+        lines.append("    nop")
+        lines.append("    nop")
+        lines.append("    nop")
+    return "\n".join(lines)
+
+
+def _window_handlers(nwindows: int) -> str:
+    """The classic SPARC V8 spill/fill handlers, sized for NWINDOWS.
+
+    Structure follows the canonical sequence (Magnusson, "Understanding
+    stacks and registers in the SPARC architecture"): compute the rotated
+    WIM into a trap-window local, *disable* WIM traps, move to the window
+    to spill/refill, transfer its locals+ins to/from the 64-byte save
+    area at its ``%sp``, return to the trap window, install the new WIM,
+    and re-execute the trapped SAVE/RESTORE.  The new WIM must be written
+    from the trap window because locals are per-window.
+    """
+    mask = (1 << nwindows) - 1
+    return f"""
+! ---- window overflow: SAVE into an invalid window ------------------------
+window_overflow:
+    mov %wim, %l3                    ! rotate WIM right by one
+    sll %l3, {nwindows - 1}, %l4
+    srl %l3, 1, %l3
+    or  %l3, %l4, %l3
+    set {mask}, %l5
+    and %l3, %l5, %l3
+    mov %g0, %wim                    ! disable WIM traps while we move
+    nop
+    nop
+    nop
+    save                             ! step into the window to be spilled
+    std %l0, [%sp + 0]               ! spill locals + ins to its frame
+    std %l2, [%sp + 8]
+    std %l4, [%sp + 16]
+    std %l6, [%sp + 24]
+    std %i0, [%sp + 32]
+    std %i2, [%sp + 40]
+    std %i4, [%sp + 48]
+    std %i6, [%sp + 56]
+    restore                          ! back to the trap window
+    mov %l3, %wim                    ! install the rotated WIM
+    nop
+    nop
+    nop
+    jmpl %l1, %g0                    ! re-execute the trapped SAVE
+    rett %l2
+
+! ---- window underflow: RESTORE from an invalid window --------------------
+window_underflow:
+    mov %wim, %l3                    ! rotate WIM left by one
+    srl %l3, {nwindows - 1}, %l4
+    sll %l3, 1, %l3
+    or  %l3, %l4, %l3
+    set {mask}, %l5
+    and %l3, %l5, %l3
+    mov %g0, %wim                    ! disable WIM traps while we move
+    nop
+    nop
+    nop
+    restore                          ! to the window that trapped
+    restore                          ! into the window to refill
+    ldd [%sp + 0], %l0
+    ldd [%sp + 8], %l2
+    ldd [%sp + 16], %l4
+    ldd [%sp + 24], %l6
+    ldd [%sp + 32], %i0
+    ldd [%sp + 40], %i2
+    ldd [%sp + 48], %i4
+    ldd [%sp + 56], %i6
+    save
+    save                             ! back to the trap window
+    mov %l3, %wim                    ! install the rotated WIM
+    nop
+    nop
+    nop
+    jmpl %l1, %g0                    ! re-execute the trapped RESTORE
+    rett %l2
+"""
+
+
+def modified_boot_source(memmap: MemoryMap, nwindows: int = 8) -> str:
+    """The paper's modified boot code: poll the mailbox instead of the UART.
+
+    Compare Figure 5, right-hand column: *set config registers; set up
+    dedicated SRAM space; CheckReady: flush; ld [reg] ProgAddr; cmp 0;
+    be CheckReady; nop; jmp reg*.
+    """
+    psr_run = 0xE0  # S | PS | ET, PIL = 0, CWP = 0
+    return (
+        _trap_table_source()
+        + f"""
+! ---- boot entry (reset trap) ---------------------------------------------
+boot_start:
+    wr %g0, 0x{psr_run ^ 0x20:x}, %psr   ! S|PS, traps still off, CWP=0
+    nop
+    nop
+    nop
+    wr %g0, 2, %wim                  ! window 1 is the invalid buffer
+    nop
+    nop
+    nop
+    set {memmap.stack_top}, %sp      ! set up dedicated SRAM space
+    set {memmap.stack_top - 96}, %fp
+    wr %g0, 0x{psr_run:x}, %psr      ! enable traps
+    nop
+    nop
+    nop
+
+! ---- CheckReady: wait for Go (Figure 5) -----------------------------------
+check_ready:
+    flush                            ! Leon flush: see mailbox writes
+    set {memmap.mailbox_start}, %g1
+    ld [%g1], %g2                    ! ld reg ProgAddr
+    cmp %g2, 0                       ! cmp 0 reg
+    be check_ready                   ! be CheckReady
+    nop
+    jmp %g2                          ! begin the user's program
+    nop
+
+! ---- ta 0: program-exit syscall -------------------------------------------
+syscall_exit:
+    set check_ready, %l3             ! return into the polling loop
+    jmpl %l3, %g0
+    rett %l3 + 4
+
+! ---- error state (hardware-debug hook, paper 4.1) -------------------------
+error_state:
+    ba error_state
+    nop
+"""
+        + _window_handlers(nwindows)
+    )
+
+
+def original_boot_source(memmap: MemoryMap, nwindows: int = 8) -> str:
+    """The stock LEON boot code: wait for a UART event (Figure 5, left).
+
+    Kept for fidelity and for the regression test showing *why* the
+    modification was needed: without a UART sender this loop never exits.
+    """
+    from repro.mem.memmap import APB_BASE, UART_OFFSET
+
+    psr_run = 0xE0
+    uart_status = APB_BASE + UART_OFFSET + 4
+    return (
+        _trap_table_source()
+        + f"""
+boot_start:
+    wr %g0, 0x{psr_run ^ 0x20:x}, %psr
+    nop
+    nop
+    nop
+    wr %g0, 2, %wim
+    nop
+    nop
+    nop
+    set {memmap.stack_top}, %sp
+    wr %g0, 0x{psr_run:x}, %psr
+    nop
+    nop
+    nop
+load_wait:
+    set {uart_status}, %g1           ! Load: wait for UART event
+    ld [%g1], %g2                    ! ld reg value
+    btst 1, %g2                      ! btst 1 reg
+    be load_wait                     ! be Load
+    nop
+check_ready:                         ! (unreachable without UART traffic)
+    ba check_ready
+    nop
+syscall_exit:
+    ba syscall_exit
+    nop
+error_state:
+    ba error_state
+    nop
+"""
+        + _window_handlers(nwindows)
+    )
+
+
+def build_boot_rom(memmap: MemoryMap | None = None, nwindows: int = 8,
+                   modified: bool = True) -> BootRomInfo:
+    """Assemble the boot PROM image at the PROM base."""
+    memmap = memmap or MemoryMap()
+    source = (modified_boot_source if modified else original_boot_source)(
+        memmap, nwindows)
+    obj = assemble(source, "bootrom.s")
+    script = MemoryMapScript(placements={".text": memmap.prom_base})
+    image = Linker(script).link([obj], entry_symbol="_trap_table")
+    base, blob = image.flatten()
+    assert base == memmap.prom_base
+    return BootRomInfo(
+        image=blob,
+        poll_address=image.symbols["check_ready"],
+        error_address=image.symbols["error_state"],
+        boot_start=image.symbols["boot_start"],
+        symbols=dict(image.symbols),
+    )
+
+
+class BootRom:
+    """Read-only AHB slave holding the PROM image."""
+
+    def __init__(self, base: int, size: int, image: bytes,
+                 wait_states: int = 0):
+        if len(image) > size:
+            raise ValueError("boot image larger than PROM")
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.data[:len(image)] = image
+        self.wait_states = wait_states
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        offset = address - self.base
+        if offset < 0 or offset + size > self.size:
+            raise BusError(address, "outside PROM")
+        return int.from_bytes(self.data[offset:offset + size], "big"), \
+            self.wait_states
+
+    def write(self, address: int, size: int, value: int) -> int:
+        raise BusError(address, "PROM is read-only")
+
+    def read_burst(self, address: int, nwords: int) -> tuple[list[int], int]:
+        words = []
+        for i in range(nwords):
+            word, _ = self.read(address + 4 * i, 4)
+            words.append(word)
+        return words, self.wait_states * nwords

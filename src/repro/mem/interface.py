@@ -1,0 +1,91 @@
+"""Memory-port protocol shared by the CPU, caches, buses and devices.
+
+A *port* is anything the integer unit (or a cache, or a bus master) can
+issue byte-addressed reads and writes to.  Ports return the number of
+*extra* wait cycles the access cost beyond the pipeline's built-in issue
+cost — zero for an ideal (cache-hit) access.  This is the contract that
+lets the same IU run against a flat test memory, a cache hierarchy, or the
+full FPX platform model without change.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.utils import u32
+
+
+class BusError(Exception):
+    """Access to an unmapped or faulting address; becomes a data/instruction
+    access trap at the CPU and an HRESP=ERROR at the AHB level."""
+
+    def __init__(self, address: int, detail: str = ""):
+        self.address = address
+        super().__init__(f"bus error at 0x{address:08x} {detail}".strip())
+
+
+@runtime_checkable
+class MemoryPort(Protocol):
+    """Byte-addressed read/write with cycle accounting."""
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        """Read *size* bytes (1/2/4) at *address*; return ``(value, cycles)``."""
+        ...
+
+    def write(self, address: int, size: int, value: int) -> int:
+        """Write *size* bytes at *address*; return wait cycles."""
+        ...
+
+
+class FlatMemory:
+    """A flat, fixed-latency memory — the unit-test stand-in for the
+    full cache/bus/SDRAM stack.
+
+    *base* and *size* bound the mapped range; anything outside raises
+    :class:`BusError`.  All values are big-endian, as on SPARC.
+    """
+
+    def __init__(self, size: int = 1 << 20, base: int = 0,
+                 read_wait: int = 0, write_wait: int = 0):
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.read_wait = read_wait
+        self.write_wait = write_wait
+        self.reads = 0
+        self.writes = 0
+
+    def _offset(self, address: int, size: int) -> int:
+        offset = address - self.base
+        if offset < 0 or offset + size > self.size:
+            raise BusError(address, "outside flat memory")
+        return offset
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        offset = self._offset(address, size)
+        self.reads += 1
+        return int.from_bytes(self.data[offset:offset + size], "big"), self.read_wait
+
+    def write(self, address: int, size: int, value: int) -> int:
+        offset = self._offset(address, size)
+        self.writes += 1
+        self.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "big")
+        return self.write_wait
+
+    # -- convenience (tests, loaders) ---------------------------------------
+
+    def load(self, address: int, blob: bytes) -> None:
+        """Bulk-copy *blob* into memory at *address* (no cycle cost)."""
+        offset = self._offset(address, max(len(blob), 1))
+        self.data[offset:offset + len(blob)] = blob
+
+    def dump(self, address: int, length: int) -> bytes:
+        offset = self._offset(address, max(length, 1))
+        return bytes(self.data[offset:offset + length])
+
+    def read_word(self, address: int) -> int:
+        return self.read(u32(address), 4)[0]
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(u32(address), 4, value)

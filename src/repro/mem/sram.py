@@ -1,0 +1,76 @@
+"""FPX ZBT SRAM bank.
+
+Dual use, as in Figure 6 of the paper: it is an AHB slave for the LEON
+processor *and* directly writable by the leon_ctrl circuitry / Control
+Packet Processor (the ``host_*`` methods), which is how programs arrive
+over the network while LEON is disconnected.
+"""
+
+from __future__ import annotations
+
+from repro.mem.interface import BusError
+from repro.utils import u32
+
+
+class SramBank:
+    """Zero-ish wait-state synchronous SRAM (AHB slave).
+
+    *wait_states* applies per data beat; FPX ZBT SRAM runs at bus speed,
+    so the default is 0.
+    """
+
+    def __init__(self, base: int, size: int, wait_states: int = 0):
+        self.base = base
+        self.size = size
+        self.wait_states = wait_states
+        self.data = bytearray(size)
+        self.reads = 0
+        self.writes = 0
+
+    def _offset(self, address: int, size: int) -> int:
+        offset = address - self.base
+        if offset < 0 or offset + size > self.size:
+            raise BusError(address, "outside SRAM")
+        return offset
+
+    # -- AHB slave ------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> tuple[int, int]:
+        offset = self._offset(address, size)
+        self.reads += 1
+        return int.from_bytes(self.data[offset:offset + size], "big"), \
+            self.wait_states
+
+    def write(self, address: int, size: int, value: int) -> int:
+        offset = self._offset(address, size)
+        self.writes += 1
+        self.data[offset:offset + size] = \
+            (value & ((1 << (8 * size)) - 1)).to_bytes(size, "big")
+        return self.wait_states
+
+    def read_burst(self, address: int, nwords: int) -> tuple[list[int], int]:
+        offset = self._offset(address, nwords * 4)
+        self.reads += nwords
+        words = [
+            int.from_bytes(self.data[offset + 4 * i:offset + 4 * i + 4], "big")
+            for i in range(nwords)
+        ]
+        return words, self.wait_states * nwords
+
+    # -- host-side (leon_ctrl / CPP) port --------------------------------------
+
+    def host_write(self, address: int, blob: bytes) -> None:
+        """Direct write from the user side of the Figure 6 mux — used to
+        deposit program bytes received in Load Program packets."""
+        offset = self._offset(address, max(len(blob), 1))
+        self.data[offset:offset + len(blob)] = blob
+
+    def host_read(self, address: int, length: int) -> bytes:
+        offset = self._offset(address, max(length, 1))
+        return bytes(self.data[offset:offset + length])
+
+    def host_write_word(self, address: int, value: int) -> None:
+        self.host_write(address, u32(value).to_bytes(4, "big"))
+
+    def host_read_word(self, address: int) -> int:
+        return int.from_bytes(self.host_read(address, 4), "big")

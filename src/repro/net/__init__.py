@@ -1,0 +1,31 @@
+"""Network substrate: IP/UDP codecs, the LEON control protocol, channels."""
+
+from repro.net.channel import Channel, ChannelConfig, duplex, pump
+from repro.net.packets import (
+    Ipv4Packet,
+    PacketError,
+    UdpDatagram,
+    build_udp_packet,
+    format_ip,
+    internet_checksum,
+    parse_ip,
+    parse_udp_packet,
+)
+from repro.net.protocol import (
+    Command,
+    LeonState,
+    ProgramAssembler,
+    ProtocolError,
+    Response,
+    decode_command,
+    decode_response,
+    packetize_program,
+)
+
+__all__ = [
+    "Channel", "ChannelConfig", "duplex", "pump",
+    "Ipv4Packet", "PacketError", "UdpDatagram", "build_udp_packet",
+    "format_ip", "internet_checksum", "parse_ip", "parse_udp_packet",
+    "Command", "LeonState", "ProgramAssembler", "ProtocolError", "Response",
+    "decode_command", "decode_response", "packetize_program",
+]

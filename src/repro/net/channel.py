@@ -1,0 +1,136 @@
+"""Datagram channel with UDP's failure modes, deterministic and seeded.
+
+The paper's control path runs over the open Internet, so the protocol
+must survive loss, reordering and duplication ("as UDP protocol does not
+guarantee order of delivery").  :class:`Channel` injects exactly those
+faults with a seeded generator so tests and benchmarks are reproducible.
+
+A channel is unidirectional; :func:`duplex` builds a matched pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Fault probabilities, each applied independently per datagram."""
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0      # probability a datagram is delayed past
+    max_delay_slots: int = 3  # ...up to this many later deliveries
+    corrupt: float = 0.0      # single byte flip (checksums should catch it)
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder", "corrupt"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+
+
+class Channel:
+    """Queue of in-flight datagrams with fault injection on delivery."""
+
+    def __init__(self, config: ChannelConfig | None = None, seed: int = 1):
+        self.config = config or ChannelConfig()
+        self._rng = np.random.default_rng(seed)
+        self._in_flight: deque[bytes] = deque()
+        self._delayed: list[tuple[int, bytes]] = []  # (slots_left, datagram)
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.corrupted = 0
+
+    def send(self, datagram: bytes) -> None:
+        self._in_flight.append(bytes(datagram))
+        self.sent += 1
+
+    def deliver(self) -> list[bytes]:
+        """Drain the channel, applying faults; returns datagrams in their
+        (possibly shuffled) arrival order."""
+        config = self.config
+        arriving: list[bytes] = []
+
+        # Age previously delayed datagrams.
+        still_delayed = []
+        for slots, datagram in self._delayed:
+            if slots <= 1:
+                arriving.append(datagram)
+                self.reordered += 1
+            else:
+                still_delayed.append((slots - 1, datagram))
+        self._delayed = still_delayed
+
+        while self._in_flight:
+            datagram = self._in_flight.popleft()
+            if config.loss and self._rng.random() < config.loss:
+                self.dropped += 1
+                continue
+            if config.corrupt and self._rng.random() < config.corrupt:
+                index = int(self._rng.integers(len(datagram)))
+                mutated = bytearray(datagram)
+                mutated[index] ^= 0xFF
+                datagram = bytes(mutated)
+                self.corrupted += 1
+            if config.reorder and self._rng.random() < config.reorder:
+                slots = int(self._rng.integers(1, config.max_delay_slots + 1))
+                self._delayed.append((slots, datagram))
+                continue
+            arriving.append(datagram)
+            if config.duplicate and self._rng.random() < config.duplicate:
+                arriving.append(datagram)
+                self.duplicated += 1
+
+        self.delivered += len(arriving)
+        return arriving
+
+    def drain_all(self, max_rounds: int = 64) -> list[bytes]:
+        """Deliver until nothing is left in flight or delayed."""
+        out: list[bytes] = []
+        for _ in range(max_rounds):
+            batch = self.deliver()
+            out.extend(batch)
+            if not self._in_flight and not self._delayed:
+                break
+        return out
+
+    @property
+    def idle(self) -> bool:
+        return not self._in_flight and not self._delayed
+
+    def stats(self) -> dict:
+        return {
+            "sent": self.sent, "delivered": self.delivered,
+            "dropped": self.dropped, "duplicated": self.duplicated,
+            "reordered": self.reordered, "corrupted": self.corrupted,
+        }
+
+
+def duplex(config: ChannelConfig | None = None,
+           seed: int = 1) -> tuple[Channel, Channel]:
+    """A (client→device, device→client) channel pair with distinct seeds."""
+    return Channel(config, seed), Channel(config, seed + 0x9E37)
+
+
+Handler = Callable[[bytes], None]
+
+
+def pump(channel: Channel, handler: Handler, max_rounds: int = 64) -> int:
+    """Deliver everything in *channel* into *handler*; returns count."""
+    count = 0
+    for _ in range(max_rounds):
+        batch = channel.deliver()
+        for datagram in batch:
+            handler(datagram)
+            count += 1
+        if channel.idle:
+            break
+    return count

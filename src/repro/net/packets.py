@@ -1,0 +1,156 @@
+"""Byte-exact IPv4 and UDP packet construction and parsing.
+
+"All control packets carry an IP header, UDP header and a payload
+specific to the command" (paper §2.6).  The layered protocol wrappers on
+the FPX parse these in hardware; here the same parsing/formatting logic
+lives in :class:`Ipv4Packet`/:class:`UdpDatagram`, shared between the
+control software (client side) and the FPX wrappers (device side), with
+real internet checksums so corruption checks are meaningful.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+IP_PROTO_UDP = 17
+IPV4_VERSION = 4
+IPV4_MIN_IHL = 5
+DEFAULT_TTL = 64
+
+
+class PacketError(Exception):
+    """Malformed packet (bad version, truncated, checksum mismatch)."""
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones'-complement checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def parse_ip(text: str) -> int:
+    """Dotted-quad string to 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4 or not all(p.isdigit() and 0 <= int(p) <= 255
+                                  for p in parts):
+        raise ValueError(f"bad IPv4 address '{text}'")
+    value = 0
+    for part in parts:
+        value = (value << 8) | int(part)
+    return value
+
+
+def format_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass
+class UdpDatagram:
+    """UDP header + payload."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    HEADER_LEN = 8
+
+    def encode(self, src_ip: int = 0, dst_ip: int = 0) -> bytes:
+        """Encode with the UDP checksum over the IPv4 pseudo-header."""
+        length = self.HEADER_LEN + len(self.payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = struct.pack("!IIBBH", src_ip, dst_ip, 0, IP_PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted as all-ones
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length,
+                             checksum)
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, src_ip: int = 0, dst_ip: int = 0,
+               verify_checksum: bool = True) -> "UdpDatagram":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError("truncated UDP header")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
+        if length < cls.HEADER_LEN or length > len(data):
+            raise PacketError(f"bad UDP length {length}")
+        payload = data[cls.HEADER_LEN:length]
+        if verify_checksum and checksum != 0:
+            pseudo = struct.pack("!IIBBH", src_ip, dst_ip, 0, IP_PROTO_UDP,
+                                 length)
+            if internet_checksum(pseudo + data[:length]) != 0:
+                raise PacketError("UDP checksum mismatch")
+        return cls(src_port, dst_port, payload)
+
+
+@dataclass
+class Ipv4Packet:
+    """IPv4 header + payload (no options, no fragmentation — the FPX
+    wrappers did not reassemble fragments either; the control protocol
+    keeps every command within one datagram)."""
+
+    src_ip: int
+    dst_ip: int
+    payload: bytes = b""
+    protocol: int = IP_PROTO_UDP
+    ttl: int = DEFAULT_TTL
+    identification: int = 0
+    _header_len: int = field(default=20, repr=False)
+
+    HEADER_LEN = 20
+
+    def encode(self) -> bytes:
+        total_len = self.HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            "!BBHHHBBHII",
+            (IPV4_VERSION << 4) | IPV4_MIN_IHL, 0, total_len,
+            self.identification, 0, self.ttl, self.protocol, 0,
+            self.src_ip, self.dst_ip,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Packet":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError("truncated IPv4 header")
+        version_ihl = data[0]
+        if version_ihl >> 4 != IPV4_VERSION:
+            raise PacketError(f"not IPv4 (version {version_ihl >> 4})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < cls.HEADER_LEN or len(data) < ihl:
+            raise PacketError("bad IHL")
+        if verify_checksum and internet_checksum(data[:ihl]) != 0:
+            raise PacketError("IPv4 header checksum mismatch")
+        total_len = struct.unpack("!H", data[2:4])[0]
+        if total_len < ihl or total_len > len(data):
+            raise PacketError(f"bad total length {total_len}")
+        ttl, protocol = data[8], data[9]
+        src_ip, dst_ip = struct.unpack("!II", data[12:20])
+        return cls(src_ip=src_ip, dst_ip=dst_ip, payload=data[ihl:total_len],
+                   protocol=protocol, ttl=ttl,
+                   identification=struct.unpack("!H", data[4:6])[0])
+
+
+def build_udp_packet(src_ip: int, dst_ip: int, src_port: int, dst_port: int,
+                     payload: bytes, identification: int = 0) -> bytes:
+    """One-call IP(UDP(payload)) encoder — what the Java servlet's UDP
+    client effectively produced."""
+    udp = UdpDatagram(src_port, dst_port, payload).encode(src_ip, dst_ip)
+    return Ipv4Packet(src_ip=src_ip, dst_ip=dst_ip, payload=udp,
+                      identification=identification).encode()
+
+
+def parse_udp_packet(data: bytes) -> tuple[Ipv4Packet, UdpDatagram]:
+    """Decode and checksum-verify an IP/UDP packet."""
+    ip = Ipv4Packet.decode(data)
+    if ip.protocol != IP_PROTO_UDP:
+        raise PacketError(f"not UDP (protocol {ip.protocol})")
+    udp = UdpDatagram.decode(ip.payload, ip.src_ip, ip.dst_ip)
+    return ip, udp

@@ -1,0 +1,360 @@
+"""The LEON control protocol: command codes and payload codecs (paper §2.6).
+
+Commands carried in UDP payloads, identified by a 1-byte command code so
+the VHDL state machine (here: :mod:`repro.fpx.cpp`) can dispatch
+"uniquely and efficiently":
+
+* ``LEON_STATUS`` — is the processor up?  Response carries a state byte
+  and the cycle counter.
+* ``LOAD_PROGRAM`` — program bytes, multi-packet capable: each packet has
+  a sequence number (UDP does not guarantee order of delivery), the total
+  packet count, the absolute memory address for its chunk and the chunk
+  length (trailing bytes of the datagram beyond the length are ignored,
+  as the paper specifies).
+* ``START_LEON`` — begin execution of the loaded program; optional
+  explicit entry address (0 = base of the loaded program).
+* ``READ_MEMORY`` — fetch a word range; the Packet Generator answers with
+  the data.
+
+Responses (from the FPX's packet generator) set the top bit of the
+command code; ``ERROR`` reports the leon_ctrl error states used for
+hardware debugging (paper §4.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Command(IntEnum):
+    LEON_STATUS = 0x01
+    LOAD_PROGRAM = 0x02
+    START_LEON = 0x03
+    READ_MEMORY = 0x04
+    RESTART = 0x05  # paper 2.1: leon_ctrl directs LEON (Restart, Execute)
+    READ_TRACE = 0x06  # Fig 1: stream instrumented traces off the FPX
+
+
+class Response(IntEnum):
+    STATUS = 0x81
+    LOAD_ACK = 0x82
+    STARTED = 0x83
+    MEMORY_DATA = 0x84
+    RESTARTED = 0x85
+    TRACE_DATA = 0x86
+    ERROR = 0xEE
+
+
+class LeonState(IntEnum):
+    """States reported in STATUS responses (leon_ctrl's view)."""
+
+    RESET = 0
+    POLLING = 1     # disconnected, waiting for a program
+    LOADING = 2     # program packets arriving
+    RUNNING = 3
+    DONE = 4
+    ERROR = 5
+
+
+class ProtocolError(Exception):
+    """Malformed command payload."""
+
+
+#: Default chunk size for program loading.  Deliberately small so that any
+#: realistic program exercises the multi-packet path with sequence numbers.
+DEFAULT_CHUNK = 128
+
+#: Maximum bytes a READ_MEMORY response will carry.
+MAX_READ_BYTES = 1024
+
+
+# ---------------------------------------------------------------------------
+# Command payload codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_status_request() -> bytes:
+    return bytes([Command.LEON_STATUS])
+
+
+def encode_restart() -> bytes:
+    return bytes([Command.RESTART])
+
+
+def encode_load_chunk(seq: int, total: int, address: int, data: bytes) -> bytes:
+    if not 0 <= seq < total <= 0xFFFF:
+        raise ProtocolError(f"bad sequence {seq}/{total}")
+    if len(data) > 0xFFFF:
+        raise ProtocolError("chunk too large")
+    return struct.pack("!BHHIH", Command.LOAD_PROGRAM, seq, total,
+                       address, len(data)) + data
+
+
+def encode_start(entry: int = 0) -> bytes:
+    return struct.pack("!BI", Command.START_LEON, entry)
+
+
+def encode_read_trace(offset: int, length: int = 512) -> bytes:
+    """Request *length* bytes of the serialized memory trace starting at
+    *offset* (Figure 1's trace-streaming path; the trace format is
+    :meth:`repro.analysis.trace.MemoryTrace.to_bytes`)."""
+    if not 0 < length <= MAX_READ_BYTES:
+        raise ProtocolError(f"trace read length {length} out of range")
+    return struct.pack("!BIH", Command.READ_TRACE, offset, length)
+
+
+def encode_read_memory(address: int, length: int = 4) -> bytes:
+    if not 0 < length <= MAX_READ_BYTES:
+        raise ProtocolError(f"read length {length} out of range")
+    return struct.pack("!BIH", Command.READ_MEMORY, address, length)
+
+
+@dataclass(frozen=True)
+class LoadChunk:
+    seq: int
+    total: int
+    address: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class StartRequest:
+    entry: int
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    address: int
+    length: int
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class RestartRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    offset: int
+    length: int
+
+
+def decode_command(payload: bytes):
+    """Decode a command payload into its request object."""
+    if not payload:
+        raise ProtocolError("empty command payload")
+    code = payload[0]
+    if code == Command.LEON_STATUS:
+        return StatusRequest()
+    if code == Command.RESTART:
+        return RestartRequest()
+    if code == Command.LOAD_PROGRAM:
+        if len(payload) < 11:
+            raise ProtocolError("truncated LOAD_PROGRAM")
+        seq, total, address, length = struct.unpack("!HHIH", payload[1:11])
+        data = payload[11:11 + length]
+        if len(data) < length:
+            raise ProtocolError("LOAD_PROGRAM shorter than its length field")
+        # Bytes beyond `length` are ignored, per the paper.
+        if not seq < total:
+            raise ProtocolError(f"bad sequence {seq}/{total}")
+        return LoadChunk(seq, total, address, data)
+    if code == Command.START_LEON:
+        if len(payload) < 5:
+            raise ProtocolError("truncated START_LEON")
+        return StartRequest(struct.unpack("!I", payload[1:5])[0])
+    if code == Command.READ_TRACE:
+        if len(payload) < 7:
+            raise ProtocolError("truncated READ_TRACE")
+        offset, length = struct.unpack("!IH", payload[1:7])
+        if not 0 < length <= MAX_READ_BYTES:
+            raise ProtocolError(f"trace read length {length} out of range")
+        return TraceRequest(offset, length)
+    if code == Command.READ_MEMORY:
+        if len(payload) < 7:
+            raise ProtocolError("truncated READ_MEMORY")
+        address, length = struct.unpack("!IH", payload[1:7])
+        if not 0 < length <= MAX_READ_BYTES:
+            raise ProtocolError(f"read length {length} out of range")
+        return ReadRequest(address, length)
+    raise ProtocolError(f"unknown command code 0x{code:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Response payload codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_status_response(state: LeonState, cycles: int) -> bytes:
+    return struct.pack("!BBI", Response.STATUS, state, cycles & 0xFFFF_FFFF)
+
+
+def encode_load_ack(received: int, total: int) -> bytes:
+    return struct.pack("!BHH", Response.LOAD_ACK, received, total)
+
+
+def encode_started(entry: int) -> bytes:
+    return struct.pack("!BI", Response.STARTED, entry)
+
+
+def encode_restarted() -> bytes:
+    return bytes([Response.RESTARTED])
+
+
+def encode_trace_data(total: int, offset: int, data: bytes) -> bytes:
+    return struct.pack("!BIIH", Response.TRACE_DATA, total, offset,
+                       len(data)) + data
+
+
+def encode_memory_data(address: int, data: bytes) -> bytes:
+    return struct.pack("!BIH", Response.MEMORY_DATA, address, len(data)) + data
+
+
+def encode_error(code: int, message: str = "") -> bytes:
+    text = message.encode()[:255]
+    return struct.pack("!BBB", Response.ERROR, code & 0xFF, len(text)) + text
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    state: LeonState
+    cycles: int
+
+
+@dataclass(frozen=True)
+class LoadAck:
+    received: int
+    total: int
+
+
+@dataclass(frozen=True)
+class Started:
+    entry: int
+
+
+@dataclass(frozen=True)
+class Restarted:
+    pass
+
+
+@dataclass(frozen=True)
+class MemoryData:
+    address: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class TraceData:
+    total: int
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    code: int
+    message: str
+
+
+def decode_response(payload: bytes):
+    if not payload:
+        raise ProtocolError("empty response payload")
+    code = payload[0]
+    if code == Response.STATUS:
+        state, cycles = struct.unpack("!BI", payload[1:6])
+        return StatusResponse(LeonState(state), cycles)
+    if code == Response.LOAD_ACK:
+        received, total = struct.unpack("!HH", payload[1:5])
+        return LoadAck(received, total)
+    if code == Response.STARTED:
+        return Started(struct.unpack("!I", payload[1:5])[0])
+    if code == Response.RESTARTED:
+        return Restarted()
+    if code == Response.TRACE_DATA:
+        total, offset, length = struct.unpack("!IIH", payload[1:11])
+        return TraceData(total, offset, payload[11:11 + length])
+    if code == Response.MEMORY_DATA:
+        address, length = struct.unpack("!IH", payload[1:7])
+        return MemoryData(address, payload[7:7 + length])
+    if code == Response.ERROR:
+        err, length = struct.unpack("!BB", payload[1:3])
+        return ErrorResponse(err, payload[3:3 + length].decode(errors="replace"))
+    raise ProtocolError(f"unknown response code 0x{code:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Program packetizer (the Forth program of Figure 4)
+# ---------------------------------------------------------------------------
+
+
+def packetize_program(base: int, blob: bytes,
+                      chunk: int = DEFAULT_CHUNK) -> list[bytes]:
+    """Split a flat binary into LOAD_PROGRAM payloads.
+
+    "If the binary does not fit in 1 packet, they can be sent as multiple
+    packets and the packet sequence number ... will need to [be] used to
+    mark the order (as UDP protocol does not guarantee order of
+    delivery)."
+    """
+    if not blob:
+        raise ProtocolError("empty program")
+    if chunk < 4 or chunk % 4:
+        raise ProtocolError("chunk must be a positive multiple of 4")
+    chunks = [blob[i:i + chunk] for i in range(0, len(blob), chunk)]
+    total = len(chunks)
+    return [
+        encode_load_chunk(seq, total, base + seq * chunk, data)
+        for seq, data in enumerate(chunks)
+    ]
+
+
+class ProgramAssembler:
+    """Device-side reassembly of a multi-packet program load.
+
+    Tolerates reordering and duplicates; completeness is "all sequence
+    numbers 0..total-1 seen".  A packet with a different ``total`` resets
+    the assembler (a new load supersedes a half-finished one).
+    """
+
+    def __init__(self):
+        self.total: int | None = None
+        self.chunks: dict[int, LoadChunk] = {}
+
+    def add(self, chunk: LoadChunk) -> bool:
+        """Accept one chunk; returns True when the program is complete."""
+        if self.total is not None and chunk.total != self.total:
+            self.reset()
+        self.total = chunk.total
+        self.chunks[chunk.seq] = chunk
+        return self.complete
+
+    @property
+    def complete(self) -> bool:
+        return self.total is not None and len(self.chunks) == self.total
+
+    @property
+    def received(self) -> int:
+        return len(self.chunks)
+
+    def base_address(self) -> int:
+        if not self.chunks:
+            raise ProtocolError("no chunks received")
+        return min(chunk.address for chunk in self.chunks.values())
+
+    def writes(self) -> list[tuple[int, bytes]]:
+        """(address, data) pairs in sequence order."""
+        return [
+            (chunk.address, chunk.data)
+            for _, chunk in sorted(self.chunks.items())
+        ]
+
+    def reset(self) -> None:
+        self.total = None
+        self.chunks.clear()

@@ -1,0 +1,11 @@
+"""APB peripherals of the Liquid processor system (Figure 3)."""
+
+from repro.peripherals.clock import Clock
+from repro.peripherals.cycle_counter import CycleCounter
+from repro.peripherals.irqctrl import IrqController
+from repro.peripherals.leds import LedPort
+from repro.peripherals.timer import Timer
+from repro.peripherals.uart import Uart
+
+__all__ = ["Clock", "CycleCounter", "IrqController", "LedPort", "Timer",
+           "Uart"]

@@ -1,0 +1,60 @@
+"""The FPX cycle-counting state machine (paper §4).
+
+    "A hardware state machine counts and returns the number of clock
+    cycles to run this program."
+
+The counter is *armed* by leon_ctrl when it releases the processor into a
+user program and *frozen* when it detects the return to the polling loop,
+so the count covers exactly the user program's execution.  It is also
+mapped on the APB so programs can self-time sections, and its value is
+returned in LEON-status response packets.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.clock import Clock
+
+CTRL_RUNNING = 1 << 0
+
+
+class CycleCounter:
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self.running = False
+        self._armed_at = 0
+        self._frozen_value = 0
+
+    # -- leon_ctrl side -------------------------------------------------------
+
+    def arm(self) -> None:
+        """Start counting from zero (program dispatch)."""
+        self.running = True
+        self._armed_at = self.clock.cycles
+
+    def freeze(self) -> int:
+        """Stop counting (program completion); returns the final count."""
+        if self.running:
+            self._frozen_value = self.clock.cycles - self._armed_at
+            self.running = False
+        return self._frozen_value
+
+    def value(self) -> int:
+        if self.running:
+            return self.clock.cycles - self._armed_at
+        return self._frozen_value
+
+    # -- APB register interface --------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        if offset == 0x0:
+            return self.value() & 0xFFFF_FFFF
+        if offset == 0x4:
+            return CTRL_RUNNING if self.running else 0
+        return 0
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == 0x4:
+            if value & CTRL_RUNNING:
+                self.arm()
+            else:
+                self.freeze()

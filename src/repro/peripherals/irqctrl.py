@@ -1,0 +1,57 @@
+"""LEON2-style interrupt controller (APB).
+
+Fifteen interrupt lines (1..15).  Registers: ``0x0`` pending, ``0x4``
+mask, ``0x8`` force (write sets pending bits), ``0xC`` clear (write
+clears pending bits).  :meth:`pending_level` is wired to the integer
+unit's ``interrupt_source``: it returns the highest pending unmasked
+level, which the IU compares against PSR.PIL.
+"""
+
+from __future__ import annotations
+
+from repro.utils import u32
+
+_LINE_MASK = 0xFFFE  # lines 1..15; bit 0 is unused
+
+
+class IrqController:
+    def __init__(self):
+        self.pending = 0
+        self.mask = 0
+
+    # -- device side -------------------------------------------------------
+
+    def raise_irq(self, level: int) -> None:
+        if not 1 <= level <= 15:
+            raise ValueError("interrupt level must be 1..15")
+        self.pending |= (1 << level)
+
+    def clear_irq(self, level: int) -> None:
+        self.pending &= ~(1 << level)
+
+    def pending_level(self) -> int:
+        """Highest unmasked pending level, or 0."""
+        active = self.pending & self.mask & _LINE_MASK
+        return active.bit_length() - 1 if active else 0
+
+    def acknowledge(self, level: int) -> None:
+        """Trap taken: hardware clears the pending bit."""
+        self.clear_irq(level)
+
+    # -- APB register interface ------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        if offset == 0x0:
+            return self.pending & _LINE_MASK
+        if offset == 0x4:
+            return self.mask & _LINE_MASK
+        return 0
+
+    def write_register(self, offset: int, value: int) -> None:
+        value = u32(value)
+        if offset == 0x4:
+            self.mask = value & _LINE_MASK
+        elif offset == 0x8:
+            self.pending |= value & _LINE_MASK
+        elif offset == 0xC:
+            self.pending &= ~value

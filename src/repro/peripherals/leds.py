@@ -1,0 +1,35 @@
+"""Discrete output port ("LED" in the paper's Figure 3) — APB device.
+
+One output register drives the FPX board LEDs; a change log is kept so
+tests and the control console can observe blink patterns with timestamps
+from the shared clock.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.clock import Clock
+from repro.utils import u32
+
+
+class LedPort:
+    def __init__(self, clock: Clock, width: int = 8):
+        self.clock = clock
+        self.width = width
+        self.value = 0
+        self.history: list[tuple[int, int]] = []  # (cycle, value)
+
+    def read_register(self, offset: int) -> int:
+        return self.value
+
+    def write_register(self, offset: int, value: int) -> None:
+        value = u32(value) & ((1 << self.width) - 1)
+        if value != self.value:
+            self.history.append((self.clock.cycles, value))
+        self.value = value
+
+    def pattern(self) -> str:
+        """Current LED state as a string of '#'/'.' (MSB first)."""
+        return "".join(
+            "#" if self.value & (1 << bit) else "."
+            for bit in reversed(range(self.width))
+        )

@@ -1,0 +1,69 @@
+"""LEON2-style UART (APB).
+
+Register map (offsets within the device window, mirroring LEON2):
+
+* ``0x0`` data — write transmits a byte, read pops the RX FIFO;
+* ``0x4`` status — bit0 data-ready (RX), bit1 TX-hold-empty (always set:
+  the model transmits instantly), bit2 TX-shift-empty;
+* ``0x8`` control — bit0 RX enable, bit1 TX enable;
+* ``0xC`` scaler — baud-rate divisor (stored, not modelled in time).
+
+The original (unmodified) LEON boot code blocks on status bit0 — the test
+suite uses this to demonstrate why the paper had to modify the boot ROM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+STATUS_DATA_READY = 1 << 0
+STATUS_TX_HOLD_EMPTY = 1 << 1
+STATUS_TX_SHIFT_EMPTY = 1 << 2
+
+
+class Uart:
+    """Instant-transmission UART with host-visible FIFOs."""
+
+    def __init__(self):
+        self.rx_fifo: deque[int] = deque()
+        self.tx_log: list[int] = []
+        self.control = 0x3  # RX and TX enabled out of reset
+        self.scaler = 0
+        self.interrupt_pending = False
+
+    # -- APB register interface ------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        if offset == 0x0:
+            return self.rx_fifo.popleft() if self.rx_fifo else 0
+        if offset == 0x4:
+            status = STATUS_TX_HOLD_EMPTY | STATUS_TX_SHIFT_EMPTY
+            if self.rx_fifo:
+                status |= STATUS_DATA_READY
+            return status
+        if offset == 0x8:
+            return self.control
+        if offset == 0xC:
+            return self.scaler
+        return 0
+
+    def write_register(self, offset: int, value: int) -> None:
+        if offset == 0x0:
+            if self.control & 0x2:
+                self.tx_log.append(value & 0xFF)
+        elif offset == 0x8:
+            self.control = value & 0x3
+        elif offset == 0xC:
+            self.scaler = value & 0xFFF
+
+    # -- host side ---------------------------------------------------------------
+
+    def host_send(self, data: bytes) -> None:
+        """Inject bytes as if received on the serial line."""
+        if self.control & 0x1:
+            self.rx_fifo.extend(data)
+            self.interrupt_pending = True
+
+    def transmitted(self) -> bytes:
+        """Everything the program wrote to the TX register."""
+        return bytes(self.tx_log)

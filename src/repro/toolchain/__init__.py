@@ -1,0 +1,23 @@
+"""Cross-compiler substrate: mini-C compiler, assembler, linker, objcopy.
+
+Mirrors the paper's GCC → GAS → LD → OBJCOPY flow:
+
+* :func:`repro.toolchain.driver.compile_c` — mini-C → SPARC assembly
+* :func:`repro.toolchain.asm.assemble` — assembly → relocatable object
+* :func:`repro.toolchain.linker.link` — objects + memory map → image
+* :mod:`repro.toolchain.objcopy` — image → flat binary for UDP loading
+"""
+
+from repro.toolchain.asm import assemble
+from repro.toolchain.linker import Linker, MemoryMapScript, link
+from repro.toolchain.objfile import Image, LinkError, ObjectFile
+
+__all__ = [
+    "assemble",
+    "Linker",
+    "MemoryMapScript",
+    "link",
+    "Image",
+    "LinkError",
+    "ObjectFile",
+]

@@ -1,0 +1,6 @@
+"""SPARC V8 assembler (GAS stage of the cross-compiler flow)."""
+
+from repro.toolchain.asm import encoder
+from repro.toolchain.asm.parser import Assembler, AssemblyError, assemble
+
+__all__ = ["encoder", "Assembler", "AssemblyError", "assemble"]

@@ -1,0 +1,123 @@
+"""SPARC V8 machine-code encoders (the assembler's back end).
+
+Each function returns a 32-bit instruction word.  They are also used
+directly by :mod:`repro.mem.bootrom` (which assembles the LEON boot code)
+and by the CPU unit tests, and they are the inverse of
+:mod:`repro.toolchain.disasm` — a correspondence checked property-style in
+``tests/toolchain/test_roundtrip.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import OP2_BICC, OP2_SETHI, Op3, Op3Mem
+from repro.utils import u32
+
+
+class EncodeError(Exception):
+    """Field out of range for its encoding."""
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg <= 31:
+        raise EncodeError(f"register {reg} out of range")
+    return reg
+
+
+def _check_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodeError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def call(disp30: int) -> int:
+    """Format 1: CALL with a signed 30-bit word displacement."""
+    return u32((1 << 30) | (disp30 & 0x3FFF_FFFF))
+
+
+def sethi(rd: int, imm22: int) -> int:
+    if not 0 <= imm22 <= 0x3FFFFF:
+        raise EncodeError(f"imm22 0x{imm22:x} out of range")
+    return (_check_reg(rd) << 25) | (OP2_SETHI << 22) | imm22
+
+
+def nop() -> int:
+    """The canonical NOP is ``sethi 0, %g0``."""
+    return sethi(0, 0)
+
+
+def branch(cond: int, disp22: int, annul: bool = False) -> int:
+    """Format 2: Bicc with a signed 22-bit word displacement."""
+    disp = _check_signed(disp22, 22, "branch displacement")
+    return ((1 << 29) if annul else 0) | ((cond & 0xF) << 25) | \
+        (OP2_BICC << 22) | disp
+
+
+def unimp(const22: int = 0) -> int:
+    return const22 & 0x3FFFFF
+
+
+def fmt3_reg(op: int, rd: int, op3: int, rs1: int, rs2: int, asi: int = 0) -> int:
+    """Format 3 with a register second operand (i = 0)."""
+    return u32((op << 30) | (_check_reg(rd) << 25) | ((op3 & 0x3F) << 19) |
+               (_check_reg(rs1) << 14) | ((asi & 0xFF) << 5) | _check_reg(rs2))
+
+
+def fmt3_imm(op: int, rd: int, op3: int, rs1: int, simm13: int) -> int:
+    """Format 3 with a 13-bit signed immediate (i = 1)."""
+    imm = _check_signed(simm13, 13, "simm13")
+    return u32((op << 30) | (_check_reg(rd) << 25) | ((op3 & 0x3F) << 19) |
+               (_check_reg(rs1) << 14) | (1 << 13) | imm)
+
+
+def cpop1(rd: int, opf: int, rs1: int, rs2: int) -> int:
+    """CPop1 — the custom-instruction slot Liquid Architecture reuses."""
+    return u32((2 << 30) | (_check_reg(rd) << 25) | (int(Op3.CPOP1) << 19) |
+               (_check_reg(rs1) << 14) | ((opf & 0x1FF) << 5) | _check_reg(rs2))
+
+
+# -- convenience wrappers used by bootrom / tests ---------------------------
+
+
+def arith_reg(op3: Op3, rd: int, rs1: int, rs2: int) -> int:
+    return fmt3_reg(2, rd, int(op3), rs1, rs2)
+
+
+def arith_imm(op3: Op3, rd: int, rs1: int, simm13: int) -> int:
+    return fmt3_imm(2, rd, int(op3), rs1, simm13)
+
+
+def mem_reg(op3: Op3Mem, rd: int, rs1: int, rs2: int, asi: int = 0) -> int:
+    return fmt3_reg(3, rd, int(op3), rs1, rs2, asi)
+
+
+def mem_imm(op3: Op3Mem, rd: int, rs1: int, simm13: int) -> int:
+    return fmt3_imm(3, rd, int(op3), rs1, simm13)
+
+
+def ld_imm(rd: int, rs1: int, offset: int = 0) -> int:
+    return mem_imm(Op3Mem.LD, rd, rs1, offset)
+
+
+def st_imm(rd: int, rs1: int, offset: int = 0) -> int:
+    return mem_imm(Op3Mem.ST, rd, rs1, offset)
+
+
+def jmpl_imm(rd: int, rs1: int, offset: int = 0) -> int:
+    return arith_imm(Op3.JMPL, rd, rs1, offset)
+
+
+def or_imm(rd: int, rs1: int, value: int) -> int:
+    return arith_imm(Op3.OR, rd, rs1, value)
+
+
+def set32(rd: int, value: int) -> list[int]:
+    """Expand ``set value, rd`` into 1–2 instructions (the GAS synthetic)."""
+    value = u32(value)
+    if -4096 <= value < 4096 or value >= 0xFFFF_F000:
+        # fits in simm13 (either small positive or sign-extended negative)
+        simm = value if value < 4096 else value - 0x1_0000_0000
+        return [or_imm(rd, 0, simm)]
+    if value & 0x3FF == 0:
+        return [sethi(rd, value >> 10)]
+    return [sethi(rd, value >> 10), or_imm(rd, rd, value & 0x3FF)]

@@ -1,0 +1,18 @@
+"""Mini-C compiler: lexer → parser → sema → SPARC V8 codegen."""
+
+from repro.toolchain.cc.cast import CompileError, CType
+from repro.toolchain.cc.codegen import generate
+from repro.toolchain.cc.lexer import LexError, tokenize
+from repro.toolchain.cc.parser import parse
+from repro.toolchain.cc.sema import analyze
+
+
+def compile_c(source: str) -> str:
+    """Compile mini-C source text to SPARC V8 assembly text."""
+    unit = parse(source)
+    sema = analyze(unit)
+    return generate(sema)
+
+
+__all__ = ["CompileError", "CType", "LexError", "tokenize", "parse",
+           "analyze", "generate", "compile_c"]

@@ -1,0 +1,329 @@
+"""Mini-C abstract syntax tree and type model.
+
+Types are value objects: a base kind (``int``/``unsigned``/``char``/
+``uchar``/``void``) plus a pointer depth and an optional array length.
+``int``/``unsigned``/pointers are 32-bit; ``char`` is a byte.  Arrays are
+one-dimensional with compile-time length and decay to pointers in
+expressions, as in C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CompileError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    base: str                  # 'int' | 'unsigned' | 'char' | 'uchar' | 'void'
+    pointer: int = 0           # levels of indirection
+    array_len: int | None = None  # outermost array dimension, if any
+    volatile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base not in ("int", "unsigned", "char", "uchar", "void"):
+            raise CompileError(f"unknown base type '{self.base}'")
+
+    # -- structural helpers ----------------------------------------------
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer > 0 and self.array_len is None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_len is not None
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointer == 0
+
+    @property
+    def is_unsigned(self) -> bool:
+        if self.pointer:
+            return True  # pointer comparisons are unsigned
+        return self.base in ("unsigned", "uchar")
+
+    def element(self) -> "CType":
+        """The type this array/pointer refers to."""
+        if self.is_array:
+            return CType(self.base, self.pointer, None, self.volatile)
+        if self.pointer:
+            return CType(self.base, self.pointer - 1, None, self.volatile)
+        raise CompileError(f"cannot dereference non-pointer {self}")
+
+    def decayed(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.is_array:
+            return CType(self.base, self.pointer + 1, None, self.volatile)
+        return self
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.decayed().pointer + 1
+                     if self.is_array else self.pointer + 1)
+
+    @property
+    def size(self) -> int:
+        if self.is_array:
+            return self.element().size * self.array_len
+        if self.pointer:
+            return 4
+        return {"int": 4, "unsigned": 4, "char": 1, "uchar": 1,
+                "void": 1}[self.base]
+
+    @property
+    def load_size(self) -> int:
+        """Size of a scalar load/store of this type (1 or 4)."""
+        if self.pointer or self.base in ("int", "unsigned"):
+            return 4
+        return 1
+
+    def __str__(self) -> str:
+        text = self.base + "*" * self.pointer
+        if self.is_array:
+            text += f"[{self.array_len}]"
+        return text
+
+
+INT = CType("int")
+UNSIGNED = CType("unsigned")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+    ctype: CType | None = field(default=None, kw_only=True)  # set by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+    label: str | None = field(default=None, kw_only=True)  # set by sema
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    # Filled by sema: ('local', offset) | ('param', idx) | ('global', label)
+    binding: tuple | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="           # '=', '+=', ...
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Deref(Expr):
+    pointer: Expr | None = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = "++"
+    prefix: bool = True
+    target: Expr | None = None
+
+
+@dataclass
+class CustomOp(Expr):
+    """``__builtin_custom(opf, a, b)`` — emits a CPop1 instruction.  The
+    Liquid rewrite recipes use this to target custom accelerators."""
+
+    opf: int = 0
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Compound(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None        # ExprStmt or VarDecl or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class DeclList(Stmt):
+    """Several declarators from one statement (``int a, b;``) — unlike a
+    Compound, this does not open a scope."""
+
+    decls: list["VarDecl"] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ctype: CType | None = None
+    init: Expr | None = None
+    init_list: list[Expr] | None = None   # array initializers
+    # Filled by sema for locals: frame offset.
+    offset: int | None = field(default=None, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    line: int = 0
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Compound | None      # None for a declaration (prototype / extern)
+    line: int = 0
+    # Filled by sema:
+    frame_size: int = 0
+    locals: dict = field(default_factory=dict)
+
+
+@dataclass
+class Global:
+    name: str
+    ctype: CType
+    init: Expr | None = None
+    init_list: list[Expr] | None = None
+    line: int = 0
+    is_extern: bool = False
+
+
+@dataclass
+class TranslationUnit:
+    functions: list[Function] = field(default_factory=list)
+    globals: list[Global] = field(default_factory=list)
+    strings: dict[str, str] = field(default_factory=dict)  # label -> text

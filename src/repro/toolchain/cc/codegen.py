@@ -1,0 +1,910 @@
+"""Mini-C → SPARC V8 assembly code generator.
+
+Calling convention (the SPARC register-window ABI, as LEON uses it):
+
+* each function opens its own window with ``save %sp, -frame, %sp``;
+* arguments arrive in ``%i0``–``%i5`` (the caller's ``%o0``–``%o5``) and
+  are spilled to frame slots in the prologue (so ``&param`` works);
+* the return value leaves in ``%i0``;
+* ``[%sp+0 .. %sp+63]`` is the register-window save area the boot ROM's
+  overflow/underflow handlers use — never touched by generated code.
+
+Expression evaluation uses a register stack over the window-local
+``%l0``–``%l7`` (safe across calls, since a callee runs in its own
+window).  When an expression is deeper than eight live temporaries, the
+generator spills the *deepest* temporary to a dedicated frame slot and
+reuses its register, reloading through the reserved scratch ``%g1``; the
+reserved ``%g2`` carries the second operand when both sides of a binary
+operation were spilled.  Depth > 8 is rare, so hot code never pays for
+the mechanism — a profile-first trade the HPC guides would endorse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.toolchain.cc import cast as A
+from repro.toolchain.cc.cast import CompileError, CType
+from repro.toolchain.cc.sema import SemanticAnalyzer, _align
+
+TEMP_REGS = ["%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7"]
+SCRATCH = "%g1"    # reserved: spill reloads, division Y setup, stores
+SCRATCH2 = "%g2"   # reserved: second spilled operand
+SCRATCH3 = "%g3"   # reserved: address operand of read-modify-write forms
+
+_COND_FOR_OP = {
+    # op -> (signed branch, unsigned branch)
+    "==": ("be", "be"), "!=": ("bne", "bne"),
+    "<": ("bl", "blu"), "<=": ("ble", "bleu"),
+    ">": ("bg", "bgu"), ">=": ("bge", "bgeu"),
+}
+_NEGATED = {"be": "bne", "bne": "be", "bl": "bge", "bge": "bl",
+            "ble": "bg", "bg": "ble", "blu": "bgeu", "bgeu": "blu",
+            "bleu": "bgu", "bgu": "bleu"}
+
+
+@dataclass
+class _Entry:
+    """One expression-stack slot: in a register or spilled to the frame."""
+
+    register: str | None    # None when spilled
+    spill_offset: int | None = None
+
+
+class _RegStack:
+    """The register stack with spill-deepest overflow policy."""
+
+    def __init__(self, gen: "CodeGen"):
+        self.gen = gen
+        self.entries: list[_Entry] = []
+        self.free = list(TEMP_REGS)
+
+    @property
+    def depth(self) -> int:
+        return len(self.entries)
+
+    def push(self) -> str:
+        """Reserve a register for a new top-of-stack value."""
+        if not self.free:
+            victim = next(e for e in self.entries if e.register is not None)
+            offset = self.gen.alloc_spill()
+            self.gen.emit(f"st {victim.register}, [%fp - {offset}]")
+            self.free.append(victim.register)
+            victim.register = None
+            victim.spill_offset = offset
+        register = self.free.pop()
+        self.entries.append(_Entry(register))
+        return register
+
+    def pop(self, into: str = SCRATCH) -> str:
+        """Release the top value; returns the register holding it (the
+        entry's own register, or *into* after a reload)."""
+        entry = self.entries.pop()
+        if entry.register is not None:
+            self.free.append(entry.register)
+            return entry.register
+        self.gen.emit(f"ld [%fp - {entry.spill_offset}], {into}")
+        self.gen.release_spill(entry.spill_offset)
+        return into
+
+    def pop2(self) -> tuple[str, str]:
+        """Pop (lhs, rhs) for a binary operation, avoiding scratch clash."""
+        rhs = self.pop(into=SCRATCH2)
+        lhs = self.pop(into=SCRATCH)
+        return lhs, rhs
+
+    def top_register(self) -> str:
+        """Register of the top entry, reloading it if it was spilled."""
+        entry = self.entries[-1]
+        if entry.register is None:
+            # Re-materialise: push semantics guarantee a register exists
+            # only by spilling someone else, so go through push/pop.
+            offset = entry.spill_offset
+            self.entries.pop()
+            register = self.push()
+            self.gen.emit(f"ld [%fp - {offset}], {register}")
+            self.gen.release_spill(offset)
+            return register
+        return entry.register
+
+    def dup(self) -> None:
+        """Duplicate the top entry (used by compound assignment)."""
+        source = self.top_register()
+        register = self.push()
+        self.gen.emit(f"mov {source}, {register}")
+
+    def pop_below(self, into: str = SCRATCH3) -> str:
+        """Release the entry *under* the top (read-modify-write forms push
+        their result before consuming the address beneath it, so the
+        result register can never alias the address register)."""
+        entry = self.entries.pop(-2)
+        if entry.register is not None:
+            self.free.append(entry.register)
+            return entry.register
+        self.gen.emit(f"ld [%fp - {entry.spill_offset}], {into}")
+        self.gen.release_spill(entry.spill_offset)
+        return into
+
+
+class CodeGen:
+    def __init__(self, sema: SemanticAnalyzer):
+        self.sema = sema
+        self.unit = sema.unit
+        self.lines: list[str] = []
+        self._label_count = 0
+        self._function: A.Function | None = None
+        self.stack = _RegStack(self)
+        # Spill-slot management (per function).
+        self._spill_base = 0
+        self._spill_free: list[int] = []
+        self._spill_next = 0
+        self._spill_max = 0
+        self._frame_patch_index: int | None = None
+        self._break_labels: list[str] = []
+        self._continue_labels: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_count += 1
+        return f".{hint}{self._label_count}"
+
+    def alloc_spill(self) -> int:
+        if self._spill_free:
+            return self._spill_free.pop()
+        self._spill_next += 4
+        self._spill_max = max(self._spill_max, self._spill_next)
+        return self._spill_base + self._spill_next
+
+    def release_spill(self, offset: int) -> None:
+        self._spill_free.append(offset)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        self.lines = []
+        self.lines.append("! generated by the Liquid Architecture mini-C "
+                          "compiler")
+        for function in self.unit.functions:
+            if function.body is not None:
+                self._gen_function(function)
+        self._gen_data()
+        return "\n".join(self.lines) + "\n"
+
+    def _gen_data(self) -> None:
+        if self.unit.strings:
+            self.lines.append("    .rodata")
+            for label, text in self.unit.strings.items():
+                self.emit_label(label)
+                escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+                escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+                self.emit(f'.asciz "{escaped}"')
+            self.emit(".align 4")
+        emitted_data = False
+        for glob in self.unit.globals:
+            if glob.is_extern:
+                continue
+            if not emitted_data:
+                self.lines.append("    .data")
+                self.lines.append("    .align 4")
+                emitted_data = True
+            self.lines.append(f"    .global {glob.name}")
+            self.emit_label(glob.name)
+            self._gen_global_body(glob)
+
+    def _gen_global_body(self, glob: A.Global) -> None:
+        ctype = glob.ctype
+        if isinstance(glob.init, A.StrLit):
+            text = glob.init.value
+            escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            self.emit(f'.asciz "{escaped}"')
+            pad = ctype.size - (len(text) + 1)
+            if pad > 0:
+                self.emit(f".skip {pad}")
+            self.emit(".align 4")
+            return
+        if glob.init_list is not None:
+            element = ctype.element()
+            directive = ".word" if element.load_size == 4 else ".byte"
+            values = [str(item.value) for item in glob.init_list]
+            if values:
+                self.emit(f"{directive} " + ", ".join(values))
+            remaining = ctype.array_len - len(glob.init_list)
+            if remaining > 0:
+                self.emit(f".skip {remaining * element.size}")
+            self.emit(".align 4")
+            return
+        if glob.init is not None:
+            assert isinstance(glob.init, A.IntLit)
+            directive = ".word" if ctype.load_size == 4 else ".byte"
+            self.emit(f"{directive} {glob.init.value}")
+            self.emit(".align 4")
+            return
+        self.emit(f".skip {max(ctype.size, 1)}")
+        self.emit(".align 4")
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def _gen_function(self, function: A.Function) -> None:
+        self._function = function
+        self._spill_base = function.frame_size - 64  # locals end here
+        self._spill_next = 0
+        self._spill_max = 0
+        self._spill_free = []
+        self.stack = _RegStack(self)
+        self.lines.append("    .text")
+        self.lines.append(f"    .global {function.name}")
+        self.emit_label(function.name)
+        # Frame size is finalised after codegen (spill slots); patch later.
+        self._frame_patch_index = len(self.lines)
+        self.emit("save %sp, -0, %sp")  # placeholder
+        for index, param in enumerate(function.params):
+            slot = function.locals[param.name]
+            store = "st" if param.ctype.load_size == 4 else "stb"
+            self.emit(f"{store} %i{index}, [%fp - {slot.offset}]")
+        self._return_label = self.new_label("Lret")
+        self._statement(function.body)
+        self.emit_label(self._return_label)
+        self.emit("ret")
+        self.emit("restore")
+        # Patch the frame size now that spill usage is known.
+        frame = _align(function.frame_size - 64 + self._spill_max, 8) + 64
+        # SPARC wants 8-byte-aligned stack pointers.
+        self.lines[self._frame_patch_index] = f"    save %sp, -{frame}, %sp"
+        self._function = None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _statement(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Compound):
+            for child in stmt.body:
+                self._statement(child)
+        elif isinstance(stmt, A.DeclList):
+            for decl in stmt.decls:
+                self._gen_var_decl(decl)
+        elif isinstance(stmt, A.VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr)
+                self.stack.pop()
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self._gen_do(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+                register = self.stack.pop()
+                self.emit(f"mov {register}, %i0")
+            self.emit(f"ba {self._return_label}")
+            self.emit("nop")
+        elif isinstance(stmt, A.Break):
+            self.emit(f"ba {self._break_labels[-1]}")
+            self.emit("nop")
+        elif isinstance(stmt, A.Continue):
+            self.emit(f"ba {self._continue_labels[-1]}")
+            self.emit("nop")
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+    def _gen_var_decl(self, decl: A.VarDecl) -> None:
+        if decl.init is not None and isinstance(decl.init, A.StrLit) \
+                and decl.ctype.is_array:
+            # Copy the string into the local array, byte by byte.
+            label = decl.init.label
+            data = decl.init.value + "\0"
+            address = self.stack.push()
+            self.emit(f"set {label}, {address}")
+            for index in range(len(data)):
+                self.emit(f"ldub [{address} + {index}], {SCRATCH}")
+                self.emit(f"stb {SCRATCH}, [%fp - {decl.offset - index}]")
+            self.stack.pop()
+            return
+        if decl.init is not None:
+            self._expr(decl.init)
+            register = self.stack.pop()
+            store = "st" if decl.ctype.load_size == 4 else "stb"
+            self.emit(f"{store} {register}, [%fp - {decl.offset}]")
+            return
+        if decl.init_list is not None:
+            element = decl.ctype.element()
+            store = "st" if element.load_size == 4 else "stb"
+            for index, item in enumerate(decl.init_list):
+                self._expr(item)
+                register = self.stack.pop()
+                offset = decl.offset - index * element.size
+                self.emit(f"{store} {register}, [%fp - {offset}]")
+
+    def _gen_if(self, stmt: A.If) -> None:
+        else_label = self.new_label("Lelse")
+        end_label = self.new_label("Lend") if stmt.otherwise else else_label
+        self._branch_if_false(stmt.cond, else_label)
+        self._statement(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(f"ba {end_label}")
+            self.emit("nop")
+            self.emit_label(else_label)
+            self._statement(stmt.otherwise)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _gen_while(self, stmt: A.While) -> None:
+        head = self.new_label("Lwhile")
+        end = self.new_label("Lendw")
+        self.emit_label(head)
+        self._branch_if_false(stmt.cond, end)
+        self._loop_body(stmt.body, break_to=end, continue_to=head)
+        self.emit(f"ba {head}")
+        self.emit("nop")
+        self.emit_label(end)
+
+    def _gen_do(self, stmt: A.DoWhile) -> None:
+        head = self.new_label("Ldo")
+        cond = self.new_label("Ldocond")
+        end = self.new_label("Lendd")
+        self.emit_label(head)
+        self._loop_body(stmt.body, break_to=end, continue_to=cond)
+        self.emit_label(cond)
+        self._branch_if_false(stmt.cond, end)
+        self.emit(f"ba {head}")
+        self.emit("nop")
+        self.emit_label(end)
+
+    def _gen_for(self, stmt: A.For) -> None:
+        head = self.new_label("Lfor")
+        step = self.new_label("Lstep")
+        end = self.new_label("Lendf")
+        if stmt.init is not None:
+            self._statement(stmt.init)
+        self.emit_label(head)
+        if stmt.cond is not None:
+            self._branch_if_false(stmt.cond, end)
+        self._loop_body(stmt.body, break_to=end, continue_to=step)
+        self.emit_label(step)
+        if stmt.step is not None:
+            self._expr(stmt.step)
+            self.stack.pop()
+        self.emit(f"ba {head}")
+        self.emit("nop")
+        self.emit_label(end)
+
+    def _loop_body(self, body: A.Stmt, break_to: str, continue_to: str) -> None:
+        self._break_labels.append(break_to)
+        self._continue_labels.append(continue_to)
+        self._statement(body)
+        self._continue_labels.pop()
+        self._break_labels.pop()
+
+    # ------------------------------------------------------------------
+    # Conditional branching (with comparison fast paths)
+    # ------------------------------------------------------------------
+
+    def _branch_if_false(self, cond: A.Expr, target: str) -> None:
+        if isinstance(cond, A.Unary) and cond.op == "!":
+            self._branch_if_true(cond.operand, target)
+            return
+        if isinstance(cond, A.Binary) and cond.op in _COND_FOR_OP:
+            branch = self._compare(cond)
+            self.emit(f"{_NEGATED[branch]} {target}")
+            self.emit("nop")
+            return
+        if isinstance(cond, A.Binary) and cond.op == "&&":
+            self._branch_if_false(cond.lhs, target)
+            self._branch_if_false(cond.rhs, target)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "||":
+            through = self.new_label("Lor")
+            self._branch_if_true(cond.lhs, through)
+            self._branch_if_false(cond.rhs, target)
+            self.emit_label(through)
+            return
+        self._expr(cond)
+        register = self.stack.pop()
+        self.emit(f"cmp {register}, 0")
+        self.emit(f"be {target}")
+        self.emit("nop")
+
+    def _branch_if_true(self, cond: A.Expr, target: str) -> None:
+        if isinstance(cond, A.Unary) and cond.op == "!":
+            self._branch_if_false(cond.operand, target)
+            return
+        if isinstance(cond, A.Binary) and cond.op in _COND_FOR_OP:
+            branch = self._compare(cond)
+            self.emit(f"{branch} {target}")
+            self.emit("nop")
+            return
+        if isinstance(cond, A.Binary) and cond.op == "||":
+            self._branch_if_true(cond.lhs, target)
+            self._branch_if_true(cond.rhs, target)
+            return
+        if isinstance(cond, A.Binary) and cond.op == "&&":
+            through = self.new_label("Land")
+            self._branch_if_false(cond.lhs, through)
+            self._branch_if_true(cond.rhs, target)
+            self.emit_label(through)
+            return
+        self._expr(cond)
+        register = self.stack.pop()
+        self.emit(f"cmp {register}, 0")
+        self.emit(f"bne {target}")
+        self.emit("nop")
+
+    def _compare(self, expr: A.Binary) -> str:
+        """Emit the cmp for a comparison; returns the taken-branch mnemonic."""
+        self._expr(expr.lhs)
+        self._expr(expr.rhs)
+        lhs, rhs = self.stack.pop2()
+        self.emit(f"cmp {lhs}, {rhs}")
+        signed, unsigned = _COND_FOR_OP[expr.op]
+        use_unsigned = expr.lhs.ctype.is_unsigned or expr.rhs.ctype.is_unsigned
+        return unsigned if use_unsigned else signed
+
+    # ------------------------------------------------------------------
+    # Expressions — values
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: A.Expr) -> None:
+        """Generate code leaving the expression's value on the stack top."""
+        if isinstance(expr, A.IntLit):
+            register = self.stack.push()
+            self.emit(f"set {expr.value & 0xFFFFFFFF}, {register}")
+        elif isinstance(expr, A.StrLit):
+            register = self.stack.push()
+            self.emit(f"set {expr.label}, {register}")
+        elif isinstance(expr, A.Ident):
+            self._gen_ident_value(expr)
+        elif isinstance(expr, A.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, A.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, A.Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, A.Conditional):
+            self._gen_conditional(expr)
+        elif isinstance(expr, A.Call):
+            self._gen_call(expr)
+        elif isinstance(expr, A.Index):
+            self._gen_addr(expr)
+            self._load_from_top(expr.ctype)
+        elif isinstance(expr, A.Deref):
+            self._gen_addr(expr)
+            self._load_from_top(expr.ctype)
+        elif isinstance(expr, A.AddrOf):
+            self._gen_addr(expr.operand)
+        elif isinstance(expr, A.Cast):
+            self._expr(expr.operand)
+            self._apply_cast(expr.target)
+        elif isinstance(expr, A.SizeOf):
+            register = self.stack.push()
+            self.emit(f"set {expr.target.size}, {register}")
+        elif isinstance(expr, A.IncDec):
+            self._gen_incdec(expr)
+        elif isinstance(expr, A.CustomOp):
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+            lhs, rhs = self.stack.pop2()
+            register = self.stack.push()
+            self.emit(f"custom {expr.opf}, {lhs}, {rhs}, {register}")
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown expression {expr!r}")
+
+    def _gen_ident_value(self, expr: A.Ident) -> None:
+        ctype = expr.ctype
+        if ctype.is_array:
+            # Arrays decay to their address.
+            self._gen_addr(expr)
+            return
+        kind, value = expr.binding
+        register = self.stack.push()
+        load = self._load_op(ctype)
+        if kind == "local":
+            self.emit(f"{load} [%fp - {value}], {register}")
+        else:
+            self.emit(f"set {value}, {register}")
+            self.emit(f"{load} [{register}], {register}")
+
+    @staticmethod
+    def _load_op(ctype: CType) -> str:
+        if ctype.load_size == 4:
+            return "ld"
+        return "ldub" if ctype.is_unsigned else "ldsb"
+
+    @staticmethod
+    def _store_op(ctype: CType) -> str:
+        return "st" if ctype.load_size == 4 else "stb"
+
+    def _load_from_top(self, ctype: CType) -> None:
+        """Replace the address on top of the stack with the loaded value."""
+        if ctype.is_array:
+            return  # address of sub-array IS the value
+        register = self.stack.top_register()
+        self.emit(f"{self._load_op(ctype)} [{register}], {register}")
+
+    def _apply_cast(self, target: CType) -> None:
+        if target.load_size == 1:
+            register = self.stack.top_register()
+            if target.is_unsigned:
+                self.emit(f"and {register}, 0xff, {register}")
+            else:
+                self.emit(f"sll {register}, 24, {register}")
+                self.emit(f"sra {register}, 24, {register}")
+        # 32-bit <-> 32-bit casts are free.
+
+    # ------------------------------------------------------------------
+    # Addresses (lvalues)
+    # ------------------------------------------------------------------
+
+    def _gen_addr(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.Ident):
+            kind, value = expr.binding
+            register = self.stack.push()
+            if kind == "local":
+                self.emit(f"sub %fp, {value}, {register}")
+            else:
+                self.emit(f"set {value}, {register}")
+        elif isinstance(expr, A.Deref):
+            self._expr(expr.pointer)
+        elif isinstance(expr, A.Index):
+            self._expr(expr.array)       # base address (decayed)
+            self._expr(expr.index)
+            base, index = self.stack.pop2()
+            register = self.stack.push()
+            scale = expr.ctype.size if expr.ctype.is_array else \
+                expr.array.ctype.decayed().element().size
+            if scale == 1:
+                self.emit(f"add {base}, {index}, {register}")
+            elif scale & (scale - 1) == 0:
+                shift = scale.bit_length() - 1
+                # SCRATCH3 as the temp: base/index may live in %g1/%g2
+                # after a spill reload.
+                self.emit(f"sll {index}, {shift}, {SCRATCH3}")
+                self.emit(f"add {base}, {SCRATCH3}, {register}")
+            else:
+                self.emit(f"set {scale}, {SCRATCH3}")
+                self.emit(f"umul {index}, {SCRATCH3}, {SCRATCH3}")
+                self.emit(f"add {base}, {SCRATCH3}, {register}")
+        elif isinstance(expr, A.Cast):
+            self._gen_addr(expr.operand)
+        else:
+            raise CompileError("expression is not an lvalue",
+                               getattr(expr, "line", 0))
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _gen_unary(self, expr: A.Unary) -> None:
+        if expr.op == "!":
+            # !x == (x == 0), branchless via the annulled-slot idiom.
+            self._expr(expr.operand)
+            register = self.stack.top_register()
+            done = self.new_label("Lnot")
+            self.emit(f"cmp {register}, 0")
+            self.emit(f"be,a {done}")
+            self.emit(f"mov 1, {register}")
+            self.emit(f"mov 0, {register}")
+            self.emit_label(done)
+            return
+        self._expr(expr.operand)
+        register = self.stack.top_register()
+        if expr.op == "-":
+            self.emit(f"neg {register}")
+        elif expr.op == "~":
+            self.emit(f"not {register}")
+        else:  # pragma: no cover - '+' folded by the parser
+            raise AssertionError(expr.op)
+
+    def _gen_binary(self, expr: A.Binary) -> None:
+        op = expr.op
+        if op == ",":
+            self._expr(expr.lhs)
+            self.stack.pop()
+            self._expr(expr.rhs)
+            return
+        if op in ("&&", "||"):
+            self._gen_logical(expr)
+            return
+        if op in _COND_FOR_OP:
+            branch = self._compare(expr)
+            register = self.stack.push()
+            done = self.new_label("Lcmp")
+            self.emit(f"{branch},a {done}")
+            self.emit(f"mov 1, {register}")
+            self.emit(f"mov 0, {register}")
+            self.emit_label(done)
+            return
+
+        lhs_t = expr.lhs.ctype
+        rhs_t = expr.rhs.ctype
+        lhs_ptr = lhs_t.is_pointer or lhs_t.is_array
+        rhs_ptr = rhs_t.is_pointer or rhs_t.is_array
+
+        # Pointer arithmetic: scale the integer side by the element size.
+        if op in ("+", "-") and (lhs_ptr ^ rhs_ptr):
+            pointer_side, int_side = (expr.lhs, expr.rhs) if lhs_ptr \
+                else (expr.rhs, expr.lhs)
+            scale = pointer_side.ctype.decayed().element().size
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+            lhs, rhs = self.stack.pop2()
+            register = self.stack.push()
+            int_reg = rhs if lhs_ptr else lhs
+            ptr_reg = lhs if lhs_ptr else rhs
+            if scale > 1:
+                if scale & (scale - 1) == 0:
+                    self.emit(f"sll {int_reg}, {scale.bit_length() - 1}, "
+                              f"{SCRATCH3}")
+                else:
+                    self.emit(f"set {scale}, {SCRATCH3}")
+                    self.emit(f"umul {int_reg}, {SCRATCH3}, {SCRATCH3}")
+                int_reg = SCRATCH3
+            mnemonic = "add" if op == "+" else "sub"
+            if op == "-" and not lhs_ptr:
+                raise CompileError("integer - pointer is invalid", expr.line)
+            self.emit(f"{mnemonic} {ptr_reg}, {int_reg}, {register}")
+            return
+
+        if op == "-" and lhs_ptr and rhs_ptr:
+            scale = lhs_t.decayed().element().size
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+            lhs, rhs = self.stack.pop2()
+            register = self.stack.push()
+            self.emit(f"sub {lhs}, {rhs}, {register}")
+            if scale > 1:
+                if scale & (scale - 1) == 0:
+                    self.emit(f"sra {register}, {scale.bit_length() - 1}, "
+                              f"{register}")
+                else:
+                    self._emit_divide(register, scale_const=scale,
+                                      signed=True)
+            return
+
+        # Strength reduction: multiply/divide/modulo by a power-of-two
+        # constant become shifts/masks (what the paper's gcc would emit;
+        # essential for the Figure 7 kernel's `i % 1024` not to drown the
+        # cache effect under a 35-cycle divide).
+        if isinstance(expr.rhs, A.IntLit) and expr.rhs.value > 0 and \
+                (expr.rhs.value & (expr.rhs.value - 1)) == 0 and \
+                op in ("*", "/", "%"):
+            constant = expr.rhs.value
+            shift = constant.bit_length() - 1
+            unsigned_lhs = expr.lhs.ctype.is_unsigned
+            if op == "*" or (op in ("/", "%") and unsigned_lhs):
+                self._expr(expr.lhs)
+                register = self.stack.top_register()
+                if op == "*":
+                    if shift:
+                        self.emit(f"sll {register}, {shift}, {register}")
+                elif op == "/":
+                    if shift:
+                        self.emit(f"srl {register}, {shift}, {register}")
+                else:
+                    self.emit(f"and {register}, {constant - 1}, {register}")
+                return
+
+        self._expr(expr.lhs)
+        self._expr(expr.rhs)
+        lhs, rhs = self.stack.pop2()
+        register = self.stack.push()
+        unsigned = expr.ctype.is_unsigned
+        simple = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+                  "<<": "sll"}
+        if op in simple:
+            self.emit(f"{simple[op]} {lhs}, {rhs}, {register}")
+        elif op == ">>":
+            mnemonic = "srl" if expr.lhs.ctype.is_unsigned else "sra"
+            self.emit(f"{mnemonic} {lhs}, {rhs}, {register}")
+        elif op == "*":
+            mnemonic = "umul" if unsigned else "smul"
+            self.emit(f"{mnemonic} {lhs}, {rhs}, {register}")
+        elif op in ("/", "%"):
+            self._emit_y_setup(lhs, unsigned)
+            divide = "udiv" if unsigned else "sdiv"
+            if op == "/":
+                self.emit(f"{divide} {lhs}, {rhs}, {register}")
+            else:
+                # a % b = a - (a / b) * b; SCRATCH3 so the quotient can't
+                # clobber a spill-reloaded lhs in %g1.
+                self.emit(f"{divide} {lhs}, {rhs}, {SCRATCH3}")
+                mul = "umul" if unsigned else "smul"
+                self.emit(f"{mul} {SCRATCH3}, {rhs}, {SCRATCH3}")
+                self.emit(f"sub {lhs}, {SCRATCH3}, {register}")
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown operator {op}")
+
+    def _emit_y_setup(self, dividend_reg: str, unsigned: bool) -> None:
+        """SPARC divide uses the 64-bit Y:rs1 dividend; set Y accordingly.
+        WRY has a 3-instruction hazard window on real silicon."""
+        if unsigned:
+            self.emit("wr %g0, 0, %y")
+        else:
+            self.emit(f"sra {dividend_reg}, 31, {SCRATCH3}")
+            self.emit(f"wr {SCRATCH3}, 0, %y")
+        self.emit("nop")
+        self.emit("nop")
+        self.emit("nop")
+
+    def _emit_divide(self, register: str, scale_const: int,
+                     signed: bool) -> None:
+        self.emit(f"sra {register}, 31, {SCRATCH}" if signed
+                  else "wr %g0, 0, %y")
+        if signed:
+            self.emit(f"wr {SCRATCH}, 0, %y")
+        self.emit("nop")
+        self.emit("nop")
+        self.emit("nop")
+        self.emit(f"set {scale_const}, {SCRATCH}")
+        divide = "sdiv" if signed else "udiv"
+        self.emit(f"{divide} {register}, {SCRATCH}, {register}")
+
+    def _gen_logical(self, expr: A.Binary) -> None:
+        register = self.stack.push()
+        short_label = self.new_label("Lsc")
+        done = self.new_label("Lscend")
+        if expr.op == "&&":
+            self._branch_if_false(expr.lhs, short_label)
+            self._branch_if_false(expr.rhs, short_label)
+            self.emit(f"ba {done}")
+            self.emit(f"mov 1, {register}")   # delay slot does the work
+            self.emit_label(short_label)
+            self.emit(f"mov 0, {register}")
+        else:
+            self._branch_if_true(expr.lhs, short_label)
+            self._branch_if_true(expr.rhs, short_label)
+            self.emit(f"ba {done}")
+            self.emit(f"mov 0, {register}")
+            self.emit_label(short_label)
+            self.emit(f"mov 1, {register}")
+        self.emit_label(done)
+
+    def _gen_conditional(self, expr: A.Conditional) -> None:
+        register = self.stack.push()
+        else_label = self.new_label("Lcelse")
+        done = self.new_label("Lcend")
+        self._branch_if_false(expr.cond, else_label)
+        self._expr(expr.then)
+        value = self.stack.pop()
+        self.emit(f"mov {value}, {register}")
+        self.emit(f"ba {done}")
+        self.emit("nop")
+        self.emit_label(else_label)
+        self._expr(expr.otherwise)
+        value = self.stack.pop()
+        self.emit(f"mov {value}, {register}")
+        self.emit_label(done)
+
+    # ------------------------------------------------------------------
+    # Assignment / inc-dec / calls
+    # ------------------------------------------------------------------
+
+    def _gen_assign(self, expr: A.Assign) -> None:
+        target_type = expr.target.ctype
+
+        # Fast path: simple store to a named scalar.
+        if expr.op == "=" and isinstance(expr.target, A.Ident) \
+                and not target_type.is_array:
+            self._expr(expr.value)
+            register = self.stack.top_register()
+            kind, value = expr.target.binding
+            store = self._store_op(target_type)
+            if kind == "local":
+                self.emit(f"{store} {register}, [%fp - {value}]")
+            else:
+                self.emit(f"set {value}, {SCRATCH}")
+                self.emit(f"{store} {register}, [{SCRATCH}]")
+            return
+
+        self._gen_addr(expr.target)
+        if expr.op == "=":
+            self._expr(expr.value)
+            value_reg = self.stack.pop(into=SCRATCH2)
+            addr_reg = self.stack.pop()
+            result = self.stack.push()
+            self.emit(f"{self._store_op(target_type)} {value_reg}, "
+                      f"[{addr_reg}]")
+            self.emit(f"mov {value_reg}, {result}")
+            return
+
+        # Compound assignment: load, operate, store.
+        binary_op = expr.op[:-1]
+        self.stack.dup()
+        self._load_from_top(target_type)
+        self._expr(expr.value)
+        rhs = self.stack.pop(into=SCRATCH2)
+        current = self.stack.pop()
+        result = self.stack.push()        # stack: [addr, result]
+        self._emit_compound_op(binary_op, current, rhs, result,
+                               target_type, expr)
+        addr = self.stack.pop_below()
+        self.emit(f"{self._store_op(target_type)} {result}, [{addr}]")
+
+    def _emit_compound_op(self, op: str, lhs: str, rhs: str, result: str,
+                          target_type: CType, expr: A.Assign) -> None:
+        unsigned = target_type.is_unsigned
+        if target_type.is_pointer and op in ("+", "-"):
+            scale = target_type.element().size
+            if scale > 1:
+                if scale & (scale - 1) == 0:
+                    self.emit(f"sll {rhs}, {scale.bit_length() - 1}, {rhs}")
+                else:
+                    self.emit(f"set {scale}, {SCRATCH3}")
+                    self.emit(f"umul {rhs}, {SCRATCH3}, {rhs}")
+        simple = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+                  "<<": "sll"}
+        if op in simple:
+            self.emit(f"{simple[op]} {lhs}, {rhs}, {result}")
+        elif op == ">>":
+            self.emit(f"{'srl' if unsigned else 'sra'} {lhs}, {rhs}, {result}")
+        elif op == "*":
+            self.emit(f"{'umul' if unsigned else 'smul'} {lhs}, {rhs}, "
+                      f"{result}")
+        elif op in ("/", "%"):
+            self._emit_y_setup(lhs, unsigned)
+            divide = "udiv" if unsigned else "sdiv"
+            if op == "/":
+                self.emit(f"{divide} {lhs}, {rhs}, {result}")
+            else:
+                self.emit(f"{divide} {lhs}, {rhs}, {SCRATCH3}")
+                mul = "umul" if unsigned else "smul"
+                self.emit(f"{mul} {SCRATCH3}, {rhs}, {SCRATCH3}")
+                self.emit(f"sub {lhs}, {SCRATCH3}, {result}")
+        else:  # pragma: no cover
+            raise AssertionError(op)
+
+    def _gen_incdec(self, expr: A.IncDec) -> None:
+        ctype = expr.target.ctype
+        step = 1
+        if ctype.is_pointer:
+            step = ctype.element().size
+        mnemonic = "add" if expr.op == "++" else "sub"
+        self._gen_addr(expr.target)
+        result = self.stack.push()        # stack: [addr, result]
+        addr = self.stack.pop_below()
+        load = self._load_op(ctype)
+        store = self._store_op(ctype)
+        if expr.prefix:
+            self.emit(f"{load} [{addr}], {result}")
+            self.emit(f"{mnemonic} {result}, {step}, {result}")
+            self.emit(f"{store} {result}, [{addr}]")
+        else:
+            self.emit(f"{load} [{addr}], {result}")
+            self.emit(f"{mnemonic} {result}, {step}, {SCRATCH}")
+            self.emit(f"{store} {SCRATCH}, [{addr}]")
+
+    def _gen_call(self, expr: A.Call) -> None:
+        for arg in expr.args:
+            self._expr(arg)
+        # Move argument values into %o registers (reverse pop order).
+        for index in reversed(range(len(expr.args))):
+            register = self.stack.pop()
+            self.emit(f"mov {register}, %o{index}")
+        self.emit(f"call {expr.name}")
+        self.emit("nop")
+        result = self.stack.push()
+        self.emit(f"mov %o0, {result}")
+
+
+def generate(sema: SemanticAnalyzer) -> str:
+    return CodeGen(sema).generate()

@@ -1,0 +1,159 @@
+"""Mini-C lexer.
+
+Tokenizes the C subset the Liquid toolchain compiles (the paper's flow
+used LECCS gcc-2.95; our from-scratch compiler accepts the language that
+the paper's workloads — and our benchmark kernels — are written in:
+ints/chars/pointers/arrays, full expression and statement grammar,
+functions, globals, `volatile` for memory-mapped I/O).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "unsigned", "signed", "char", "short", "long", "void",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "volatile", "const", "static", "extern", "sizeof",
+}
+
+# Longest-first so '<<=' wins over '<<' wins over '<'.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ",", ";", "(", ")", "{", "}", "[", "]",
+]
+
+_OP_RE = re.compile("|".join(re.escape(op) for op in OPERATORS))
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"0[xX][0-9a-fA-F]+[uUlL]*|0[bB][01]+[uUlL]*|\d+[uUlL]*")
+_CHAR_RE = re.compile(r"'(\\x[0-9a-fA-F]{1,2}|\\.|[^'\\])'")
+_STRING_RE = re.compile(r'"(\\.|[^"\\])*"')
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"', "b": "\b", "f": "\f", "v": "\v"}
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'ident' | 'num' | 'char' | 'string' | 'kw' | 'op' | 'eof'
+    text: str
+    value: int | str | None
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _strip_comments(source: str) -> str:
+    """Remove // and /* */ comments, preserving line numbers."""
+    out = []
+    i, line = 0, 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            out.append("\n" * source.count("\n", i, end + 2))
+            line += source.count("\n", i, end + 2)
+            i = end + 2
+        elif ch in "\"'":
+            # Don't strip comment-like text inside literals.
+            regex = _STRING_RE if ch == '"' else _CHAR_RE
+            match = regex.match(source, i)
+            if not match:
+                raise LexError(f"unterminated {ch} literal", line)
+            out.append(match.group(0))
+            i = match.end()
+        else:
+            if ch == "\n":
+                line += 1
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _decode_escapes(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        if body[i] == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            if nxt == "x" and i + 3 < len(body) + 1:
+                hexpart = body[i + 2:i + 4]
+                out.append(chr(int(hexpart, 16)))
+                i += 4
+                continue
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(body[i])
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> list[Token]:
+    source = _strip_comments(source)
+    tokens: list[Token] = []
+    i, line = 0, 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        if ch == "#":  # preprocessor lines are not supported; skip them
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        match = _NUM_RE.match(source, i)
+        if match:
+            text = match.group(0).rstrip("uUlL")
+            tokens.append(Token("num", match.group(0), int(text, 0), line))
+            i = match.end()
+            continue
+        match = _IDENT_RE.match(source, i)
+        if match:
+            text = match.group(0)
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, line))
+            i = match.end()
+            continue
+        match = _CHAR_RE.match(source, i)
+        if match:
+            decoded = _decode_escapes(match.group(1))
+            tokens.append(Token("num", match.group(0), ord(decoded), line))
+            i = match.end()
+            continue
+        match = _STRING_RE.match(source, i)
+        if match:
+            decoded = _decode_escapes(match.group(0)[1:-1])
+            tokens.append(Token("string", match.group(0), decoded, line))
+            i = match.end()
+            continue
+        match = _OP_RE.match(source, i)
+        if match:
+            tokens.append(Token("op", match.group(0), match.group(0), line))
+            i = match.end()
+            continue
+        raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,474 @@
+"""Mini-C recursive-descent parser.
+
+Grammar (C89-flavoured subset):
+
+    unit        := (function | global)*
+    type        := ['volatile'|'const'|'static'|'extern']* base '*'*
+    base        := 'void' | 'char' | 'int' | 'unsigned' ['int'|'char'] | ...
+    function    := type ident '(' params ')' (compound | ';')
+    global      := type declarator (',' declarator)* ';'
+    declarator  := '*'* ident ['[' const-expr ']'] ['=' initializer]
+
+Expressions implement the full C precedence ladder down to comma-free
+assignment; ``sizeof``, casts, pre/post inc/dec, short-circuit logicals
+and the ternary operator are included.  ``__builtin_custom(opf, a, b)``
+parses into :class:`~repro.toolchain.cc.cast.CustomOp`.
+"""
+
+from __future__ import annotations
+
+from repro.toolchain.cc import cast as A
+from repro.toolchain.cc.cast import CompileError, CType
+from repro.toolchain.cc.lexer import Token, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+_BASE_KEYWORDS = {"void", "char", "int", "unsigned", "signed", "short",
+                  "long"}
+_QUALIFIERS = {"volatile", "const", "static", "extern"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            want = text or kind
+            raise CompileError(f"expected '{want}', got '{token.text}'",
+                               token.line)
+        return self.next()
+
+    # -- types ---------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "kw" and (token.text in _BASE_KEYWORDS
+                                       or token.text in _QUALIFIERS)
+
+    def parse_type(self) -> tuple[CType, bool]:
+        """Parse qualifiers + base + stars; returns (type, is_extern)."""
+        volatile = False
+        is_extern = False
+        words: list[str] = []
+        while True:
+            token = self.peek()
+            if token.kind == "kw" and token.text in _QUALIFIERS:
+                self.next()
+                if token.text == "volatile":
+                    volatile = True
+                if token.text == "extern":
+                    is_extern = True
+                continue
+            if token.kind == "kw" and token.text in _BASE_KEYWORDS:
+                self.next()
+                words.append(token.text)
+                continue
+            break
+        if not words:
+            raise CompileError(f"expected a type, got '{self.peek().text}'",
+                               self.peek().line)
+        base = self._resolve_base(words)
+        pointer = 0
+        while self.accept("op", "*"):
+            pointer += 1
+            # Qualifiers after '*' bind to the pointer; we just accept them.
+            while self.peek().kind == "kw" and self.peek().text in _QUALIFIERS:
+                self.next()
+        return CType(base, pointer, None, volatile), is_extern
+
+    @staticmethod
+    def _resolve_base(words: list[str]) -> str:
+        unsigned = "unsigned" in words
+        if "void" in words:
+            return "void"
+        if "char" in words:
+            return "uchar" if unsigned else "char"
+        # short/long/int all map to the 32-bit integer in this model.
+        return "unsigned" if unsigned else "int"
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_unit(self) -> A.TranslationUnit:
+        unit = A.TranslationUnit()
+        while not self.at("eof"):
+            self._top_level(unit)
+        return unit
+
+    def _top_level(self, unit: A.TranslationUnit) -> None:
+        line = self.peek().line
+        ctype, is_extern = self.parse_type()
+        name = self.expect("ident").text
+        if self.at("op", "("):
+            unit.functions.append(self._function(ctype, name, line))
+            return
+        # Global variable(s).
+        while True:
+            var_type = self._array_suffix(ctype)
+            init, init_list = self._initializer(var_type)
+            unit.globals.append(A.Global(name, var_type, init, init_list,
+                                         line, is_extern))
+            if not self.accept("op", ","):
+                break
+            pointer = 0
+            while self.accept("op", "*"):
+                pointer += 1
+            ctype = CType(ctype.base, pointer, None, ctype.volatile)
+            name = self.expect("ident").text
+        self.expect("op", ";")
+
+    def _array_suffix(self, ctype: CType) -> CType:
+        if self.accept("op", "["):
+            length_tok = self.peek()
+            length = self._const_expr()
+            self.expect("op", "]")
+            if length <= 0:
+                raise CompileError("array length must be positive",
+                                   length_tok.line)
+            return CType(ctype.base, ctype.pointer, length, ctype.volatile)
+        return ctype
+
+    def _initializer(self, ctype: CType):
+        if not self.accept("op", "="):
+            return None, None
+        if self.accept("op", "{"):
+            items = []
+            if not self.at("op", "}"):
+                items.append(self.parse_assignment())
+                while self.accept("op", ","):
+                    if self.at("op", "}"):
+                        break
+                    items.append(self.parse_assignment())
+            self.expect("op", "}")
+            return None, items
+        return self.parse_assignment(), None
+
+    def _const_expr(self) -> int:
+        expr = self.parse_conditional()
+        return _fold_const(expr)
+
+    def _function(self, return_type: CType, name: str, line: int) -> A.Function:
+        self.expect("op", "(")
+        params: list[A.Param] = []
+        if not self.at("op", ")"):
+            if self.at("kw", "void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    ptype, _ = self.parse_type()
+                    pname_tok = self.expect("ident")
+                    ptype = self._array_suffix(ptype).decayed()
+                    params.append(A.Param(pname_tok.text, ptype,
+                                          pname_tok.line))
+                    if not self.accept("op", ","):
+                        break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return A.Function(name, return_type, params, None, line)
+        body = self.parse_compound()
+        return A.Function(name, return_type, params, body, line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_compound(self) -> A.Compound:
+        open_tok = self.expect("op", "{")
+        body: list[A.Stmt] = []
+        while not self.at("op", "}"):
+            if self.at("eof"):
+                raise CompileError("unterminated block", open_tok.line)
+            body.append(self.parse_statement())
+        self.expect("op", "}")
+        return A.Compound(body, line=open_tok.line)
+
+    def parse_statement(self) -> A.Stmt:
+        token = self.peek()
+        if self.at("op", "{"):
+            return self.parse_compound()
+        if self.at("op", ";"):
+            self.next()
+            return A.Compound([], line=token.line)
+        if self._at_type():
+            return self._local_decl()
+        if token.kind == "kw":
+            handler = {
+                "if": self._if, "while": self._while, "do": self._do,
+                "for": self._for, "return": self._return,
+                "break": self._break, "continue": self._continue,
+            }.get(token.text)
+            if handler:
+                return handler()
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return A.ExprStmt(expr, line=token.line)
+
+    def _local_decl(self) -> A.Stmt:
+        line = self.peek().line
+        ctype, _ = self.parse_type()
+        decls: list[A.Stmt] = []
+        while True:
+            name = self.expect("ident").text
+            var_type = self._array_suffix(ctype)
+            init, init_list = self._initializer(var_type)
+            decls.append(A.VarDecl(name, var_type, init, init_list,
+                                   line=line))
+            if not self.accept("op", ","):
+                break
+            pointer = 0
+            while self.accept("op", "*"):
+                pointer += 1
+            ctype = CType(ctype.base, pointer, None, ctype.volatile)
+        self.expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return A.DeclList(decls, line=line)
+
+    def _if(self) -> A.Stmt:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        otherwise = self.parse_statement() if self.accept("kw", "else") else None
+        return A.If(cond, then, otherwise, line=line)
+
+    def _while(self) -> A.Stmt:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        return A.While(cond, self.parse_statement(), line=line)
+
+    def _do(self) -> A.Stmt:
+        line = self.expect("kw", "do").line
+        body = self.parse_statement()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return A.DoWhile(body, cond, line=line)
+
+    def _for(self) -> A.Stmt:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init: A.Stmt | None = None
+        if not self.at("op", ";"):
+            if self._at_type():
+                init = self._local_decl()  # consumes the ';'
+            else:
+                init = A.ExprStmt(self.parse_expression(), line=line)
+                self.expect("op", ";")
+        else:
+            self.next()
+        cond = None
+        if not self.at("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not self.at("op", ")"):
+            step = self.parse_expression()
+        self.expect("op", ")")
+        return A.For(init, cond, step, self.parse_statement(), line=line)
+
+    def _return(self) -> A.Stmt:
+        line = self.expect("kw", "return").line
+        value = None
+        if not self.at("op", ";"):
+            value = self.parse_expression()
+        self.expect("op", ";")
+        return A.Return(value, line=line)
+
+    def _break(self) -> A.Stmt:
+        line = self.expect("kw", "break").line
+        self.expect("op", ";")
+        return A.Break(line=line)
+
+    def _continue(self) -> A.Stmt:
+        line = self.expect("kw", "continue").line
+        self.expect("op", ";")
+        return A.Continue(line=line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expression(self) -> A.Expr:
+        """Comma operator: evaluate left, yield right."""
+        expr = self.parse_assignment()
+        while self.at("op", ","):
+            line = self.next().line
+            rhs = self.parse_assignment()
+            expr = A.Binary(",", expr, rhs, line=line)
+        return expr
+
+    def parse_assignment(self) -> A.Expr:
+        lhs = self.parse_conditional()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.next()
+            rhs = self.parse_assignment()
+            return A.Assign(token.text, lhs, rhs, line=token.line)
+        return lhs
+
+    def parse_conditional(self) -> A.Expr:
+        cond = self._binary(0)
+        if self.at("op", "?"):
+            line = self.next().line
+            then = self.parse_expression()
+            self.expect("op", ":")
+            otherwise = self.parse_conditional()
+            return A.Conditional(cond, then, otherwise, line=line)
+        return cond
+
+    _PRECEDENCE = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="),
+        ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def _binary(self, level: int) -> A.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        ops = self._PRECEDENCE[level]
+        lhs = self._binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            token = self.next()
+            rhs = self._binary(level + 1)
+            lhs = A.Binary(token.text, lhs, rhs, line=token.line)
+        return lhs
+
+    def parse_unary(self) -> A.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("!", "~", "-", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if token.text == "+":
+                return operand
+            return A.Unary(token.text, operand, line=token.line)
+        if token.kind == "op" and token.text == "*":
+            self.next()
+            return A.Deref(self.parse_unary(), line=token.line)
+        if token.kind == "op" and token.text == "&":
+            self.next()
+            return A.AddrOf(self.parse_unary(), line=token.line)
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.next()
+            return A.IncDec(token.text, True, self.parse_unary(),
+                            line=token.line)
+        if token.kind == "kw" and token.text == "sizeof":
+            self.next()
+            if self.at("op", "(") and self._type_ahead(1):
+                self.next()
+                ctype, _ = self.parse_type()
+                ctype = self._array_suffix(ctype)
+                self.expect("op", ")")
+                return A.SizeOf(ctype, None, line=token.line)
+            return A.SizeOf(None, self.parse_unary(), line=token.line)
+        if self.at("op", "(") and self._type_ahead(1):
+            self.next()
+            ctype, _ = self.parse_type()
+            self.expect("op", ")")
+            return A.Cast(ctype, self.parse_unary(), line=token.line)
+        return self.parse_postfix()
+
+    def _type_ahead(self, offset: int) -> bool:
+        token = self.peek(offset)
+        return token.kind == "kw" and (token.text in _BASE_KEYWORDS
+                                       or token.text in _QUALIFIERS)
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if self.at("op", "["):
+                self.next()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = A.Index(expr, index, line=token.line)
+            elif self.at("op", "(") and isinstance(expr, A.Ident):
+                expr = self._call(expr)
+            elif self.at("op", "++") or self.at("op", "--"):
+                self.next()
+                expr = A.IncDec(token.text, False, expr, line=token.line)
+            else:
+                return expr
+
+    def _call(self, callee: A.Ident) -> A.Expr:
+        open_tok = self.expect("op", "(")
+        args: list[A.Expr] = []
+        if not self.at("op", ")"):
+            args.append(self.parse_assignment())
+            while self.accept("op", ","):
+                args.append(self.parse_assignment())
+        self.expect("op", ")")
+        if callee.name == "__builtin_custom":
+            if len(args) != 3:
+                raise CompileError("__builtin_custom(opf, a, b) takes 3 "
+                                   "arguments", open_tok.line)
+            opf = _fold_const(args[0])
+            return A.CustomOp(opf, args[1], args[2], line=open_tok.line)
+        return A.Call(callee.name, args, line=open_tok.line)
+
+    def parse_primary(self) -> A.Expr:
+        token = self.next()
+        if token.kind == "num":
+            return A.IntLit(token.value, line=token.line)
+        if token.kind == "string":
+            return A.StrLit(token.value, line=token.line)
+        if token.kind == "ident":
+            return A.Ident(token.text, line=token.line)
+        if token.kind == "op" and token.text == "(":
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token '{token.text}'", token.line)
+
+
+def _fold_const(expr: A.Expr) -> int:
+    """Fold a compile-time constant expression (array sizes, opf codes)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.Unary):
+        inner = _fold_const(expr.operand)
+        return {"-": -inner, "~": ~inner, "!": int(not inner)}[expr.op]
+    if isinstance(expr, A.Binary):
+        a, b = _fold_const(expr.lhs), _fold_const(expr.rhs)
+        ops = {
+            "+": a + b, "-": a - b, "*": a * b,
+            "/": a // b if b else 0, "%": a % b if b else 0,
+            "<<": a << b, ">>": a >> b, "&": a & b, "|": a | b, "^": a ^ b,
+            "==": int(a == b), "!=": int(a != b), "<": int(a < b),
+            ">": int(a > b), "<=": int(a <= b), ">=": int(a >= b),
+            "&&": int(bool(a) and bool(b)), "||": int(bool(a) or bool(b)),
+        }
+        return ops[expr.op]
+    if isinstance(expr, A.SizeOf) and expr.target is not None:
+        return expr.target.size
+    raise CompileError("expression is not a compile-time constant",
+                       getattr(expr, "line", 0))
+
+
+def parse(source: str) -> A.TranslationUnit:
+    return Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,413 @@
+"""Mini-C semantic analysis: name resolution, typing, frame layout.
+
+Walks the AST, binding identifiers to storage — ``('local', offset)``
+frame slots or ``('global', label)`` — annotating every expression with
+its :class:`~repro.toolchain.cc.cast.CType`, folding ``sizeof``, and
+computing each function's frame size (the 64-byte register-window save
+area the boot ROM's overflow handler spills into, plus locals, plus the
+code generator's spill slots).
+
+Parameters are spilled to frame slots in the prologue (as gcc -O0 does),
+which makes ``&param`` well-defined and keeps the code generator uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.toolchain.cc import cast as A
+from repro.toolchain.cc.cast import INT, UNSIGNED, CompileError, CType
+
+WINDOW_SAVE_BYTES = 64  # mandatory %sp-relative save area (SPARC ABI)
+MAX_REG_PARAMS = 6
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    return_type: CType
+    param_types: list[CType]
+    defined: bool
+
+
+@dataclass
+class LocalSlot:
+    name: str
+    ctype: CType
+    offset: int  # positive; address is %fp - offset
+
+
+@dataclass
+class _Scope:
+    parent: "._Scope | None" = None
+    names: dict[str, LocalSlot] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> LocalSlot | None:
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    def __init__(self, unit: A.TranslationUnit):
+        self.unit = unit
+        self.functions: dict[str, FunctionInfo] = {}
+        self.globals: dict[str, A.Global] = {}
+        self._string_count = 0
+        self._scope: _Scope | None = None
+        self._frame_bytes = 0
+        self._current: A.Function | None = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> A.TranslationUnit:
+        for glob in self.unit.globals:
+            if glob.name in self.globals or glob.name in self.functions:
+                raise CompileError(f"redefinition of '{glob.name}'", glob.line)
+            self._check_global_init(glob)
+            self.globals[glob.name] = glob
+        for function in self.unit.functions:
+            info = self.functions.get(function.name)
+            signature = FunctionInfo(
+                function.name, function.return_type,
+                [param.ctype for param in function.params],
+                function.body is not None)
+            if info is None:
+                if function.name in self.globals:
+                    raise CompileError(f"'{function.name}' already a variable",
+                                       function.line)
+                self.functions[function.name] = signature
+            else:
+                if info.defined and function.body is not None:
+                    raise CompileError(f"redefinition of '{function.name}'",
+                                       function.line)
+                if info.param_types != signature.param_types:
+                    raise CompileError(
+                        f"conflicting declaration of '{function.name}'",
+                        function.line)
+                info.defined = info.defined or signature.defined
+        for function in self.unit.functions:
+            if function.body is not None:
+                self._analyze_function(function)
+        return self.unit
+
+    def _check_global_init(self, glob: A.Global) -> None:
+        if glob.ctype.is_void:
+            raise CompileError(f"variable '{glob.name}' has type void",
+                               glob.line)
+        if glob.init is not None:
+            if isinstance(glob.init, A.StrLit):
+                if not (glob.ctype.is_array and glob.ctype.base in
+                        ("char", "uchar")):
+                    raise CompileError("string initializer needs a char array",
+                                       glob.line)
+                if len(glob.init.value) + 1 > glob.ctype.size:
+                    raise CompileError("string too long for array", glob.line)
+                return
+            # Scalar initializers must be compile-time constants.
+            from repro.toolchain.cc.parser import _fold_const
+            glob.init = A.IntLit(_fold_const(glob.init), line=glob.line)
+        if glob.init_list is not None:
+            from repro.toolchain.cc.parser import _fold_const
+            if not glob.ctype.is_array:
+                raise CompileError("brace initializer needs an array",
+                                   glob.line)
+            if len(glob.init_list) > glob.ctype.array_len:
+                raise CompileError("too many initializers", glob.line)
+            glob.init_list = [A.IntLit(_fold_const(item), line=glob.line)
+                              for item in glob.init_list]
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def _analyze_function(self, function: A.Function) -> None:
+        if len(function.params) > MAX_REG_PARAMS:
+            raise CompileError(
+                f"'{function.name}': at most {MAX_REG_PARAMS} parameters "
+                "are supported (register-window calling convention)",
+                function.line)
+        self._current = function
+        self._frame_bytes = 0
+        self._scope = _Scope()
+        for param in function.params:
+            slot = self._allocate(param.name, param.ctype, param.line)
+            function.locals[param.name] = slot
+        self._statement(function.body)
+        # Round the frame up; the code generator adds its spill slots on top.
+        function.frame_size = WINDOW_SAVE_BYTES + _align(self._frame_bytes, 8)
+        self._scope = None
+        self._current = None
+
+    def _allocate(self, name: str, ctype: CType, line: int) -> LocalSlot:
+        if ctype.is_void:
+            raise CompileError(f"variable '{name}' has type void", line)
+        if self._scope.names.get(name) is not None:
+            raise CompileError(f"redefinition of '{name}'", line)
+        size = _align(ctype.size, 4)
+        self._frame_bytes = _align(self._frame_bytes + size, 4)
+        slot = LocalSlot(name, ctype, self._frame_bytes)
+        self._scope.names[name] = slot
+        return slot
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _statement(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Compound):
+            outer = self._scope
+            self._scope = _Scope(parent=outer)
+            for child in stmt.body:
+                self._statement(child)
+            self._scope = outer
+        elif isinstance(stmt, A.DeclList):
+            for decl in stmt.decls:
+                self._var_decl(decl)
+        elif isinstance(stmt, A.VarDecl):
+            self._var_decl(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr)
+        elif isinstance(stmt, A.If):
+            self._expr(stmt.cond)
+            self._statement(stmt.then)
+            if stmt.otherwise is not None:
+                self._statement(stmt.otherwise)
+        elif isinstance(stmt, A.While):
+            self._expr(stmt.cond)
+            self._in_loop(stmt.body)
+        elif isinstance(stmt, A.DoWhile):
+            self._in_loop(stmt.body)
+            self._expr(stmt.cond)
+        elif isinstance(stmt, A.For):
+            outer = self._scope
+            self._scope = _Scope(parent=outer)
+            if stmt.init is not None:
+                self._statement(stmt.init)
+            if stmt.cond is not None:
+                self._expr(stmt.cond)
+            if stmt.step is not None:
+                self._expr(stmt.step)
+            self._in_loop(stmt.body)
+            self._scope = outer
+        elif isinstance(stmt, A.Return):
+            want = self._current.return_type
+            if stmt.value is not None:
+                if want.is_void:
+                    raise CompileError("void function returns a value",
+                                       stmt.line)
+                self._expr(stmt.value)
+            elif not want.is_void:
+                raise CompileError("non-void function returns nothing",
+                                   stmt.line)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self._loop_depth == 0:
+                kind = "break" if isinstance(stmt, A.Break) else "continue"
+                raise CompileError(f"'{kind}' outside a loop", stmt.line)
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+    def _in_loop(self, body: A.Stmt) -> None:
+        self._loop_depth += 1
+        self._statement(body)
+        self._loop_depth -= 1
+
+    def _var_decl(self, decl: A.VarDecl) -> None:
+        slot = self._allocate(decl.name, decl.ctype, decl.line)
+        decl.offset = slot.offset
+        if decl.init is not None:
+            if isinstance(decl.init, A.StrLit) and decl.ctype.is_array:
+                if len(decl.init.value) + 1 > decl.ctype.size:
+                    raise CompileError("string too long for array", decl.line)
+                self._expr(decl.init)
+                return
+            self._expr(decl.init)
+            if decl.ctype.is_array:
+                raise CompileError("array initializer must be a brace list",
+                                   decl.line)
+        if decl.init_list is not None:
+            if not decl.ctype.is_array:
+                raise CompileError("brace initializer needs an array",
+                                   decl.line)
+            if len(decl.init_list) > decl.ctype.array_len:
+                raise CompileError("too many initializers", decl.line)
+            for item in decl.init_list:
+                self._expr(item)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: A.Expr) -> CType:
+        ctype = self._expr_inner(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_inner(self, expr: A.Expr) -> CType:
+        if isinstance(expr, A.IntLit):
+            return UNSIGNED if expr.value > 0x7FFF_FFFF else INT
+        if isinstance(expr, A.StrLit):
+            if expr.label is None:
+                expr.label = f".Lstr{self._string_count}"
+                self._string_count += 1
+                self.unit.strings[expr.label] = expr.value
+            return CType("char", 0, len(expr.value) + 1)
+        if isinstance(expr, A.Ident):
+            return self._ident(expr)
+        if isinstance(expr, A.Unary):
+            inner = self._expr(expr.operand)
+            if inner.is_void:
+                raise CompileError("void value in expression", expr.line)
+            if expr.op == "!":
+                return INT
+            return UNSIGNED if inner.is_unsigned else INT
+        if isinstance(expr, A.Binary):
+            return self._binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._assign(expr)
+        if isinstance(expr, A.Conditional):
+            self._expr(expr.cond)
+            then = self._expr(expr.then)
+            otherwise = self._expr(expr.otherwise)
+            return self._merge(then, otherwise, expr.line)
+        if isinstance(expr, A.Call):
+            return self._call(expr)
+        if isinstance(expr, A.Index):
+            base = self._expr(expr.array)
+            index = self._expr(expr.index)
+            if not (base.is_array or base.is_pointer):
+                # C allows i[arr]; support it by swapping.
+                if index.is_array or index.is_pointer:
+                    expr.array, expr.index = expr.index, expr.array
+                    base, index = index, base
+                else:
+                    raise CompileError("subscript of non-array", expr.line)
+            return base.element()
+        if isinstance(expr, A.Deref):
+            inner = self._expr(expr.pointer)
+            if not (inner.is_pointer or inner.is_array):
+                raise CompileError("dereference of non-pointer", expr.line)
+            return inner.element()
+        if isinstance(expr, A.AddrOf):
+            inner = self._expr(expr.operand)
+            self._require_lvalue(expr.operand)
+            return inner.pointer_to() if not inner.is_array else \
+                CType(inner.base, inner.pointer + 1)
+        if isinstance(expr, A.Cast):
+            self._expr(expr.operand)
+            return expr.target
+        if isinstance(expr, A.SizeOf):
+            if expr.target is None:
+                expr.target = self._expr(expr.operand)
+            return UNSIGNED
+        if isinstance(expr, A.IncDec):
+            inner = self._expr(expr.target)
+            self._require_lvalue(expr.target)
+            return inner
+        if isinstance(expr, A.CustomOp):
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+            return UNSIGNED
+        raise AssertionError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _ident(self, expr: A.Ident) -> CType:
+        slot = self._scope.lookup(expr.name) if self._scope else None
+        if slot is not None:
+            expr.binding = ("local", slot.offset)
+            return slot.ctype
+        glob = self.globals.get(expr.name)
+        if glob is not None:
+            expr.binding = ("global", glob.name)
+            return glob.ctype
+        if expr.name in self.functions:
+            raise CompileError(f"function '{expr.name}' used as a value "
+                               "(function pointers are unsupported)",
+                               expr.line)
+        raise CompileError(f"undeclared identifier '{expr.name}'", expr.line)
+
+    def _call(self, expr: A.Call) -> CType:
+        info = self.functions.get(expr.name)
+        if info is None:
+            raise CompileError(f"call to undeclared function '{expr.name}'",
+                               expr.line)
+        if len(expr.args) != len(info.param_types):
+            raise CompileError(
+                f"'{expr.name}' expects {len(info.param_types)} arguments, "
+                f"got {len(expr.args)}", expr.line)
+        for arg in expr.args:
+            self._expr(arg)
+        return info.return_type
+
+    def _binary(self, expr: A.Binary) -> CType:
+        lhs = self._expr(expr.lhs)
+        rhs = self._expr(expr.rhs)
+        op = expr.op
+        if op == ",":
+            return rhs
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT
+        lhs_ptr = lhs.is_pointer or lhs.is_array
+        rhs_ptr = rhs.is_pointer or rhs.is_array
+        if op == "+" and (lhs_ptr ^ rhs_ptr):
+            return (lhs if lhs_ptr else rhs).decayed()
+        if op == "-" and lhs_ptr and rhs_ptr:
+            return INT
+        if op == "-" and lhs_ptr:
+            return lhs.decayed()
+        if lhs_ptr or rhs_ptr:
+            raise CompileError(f"invalid pointer arithmetic '{op}'",
+                               expr.line)
+        return self._merge(lhs, rhs, expr.line)
+
+    @staticmethod
+    def _merge(a: CType, b: CType, line: int) -> CType:
+        if a.is_void or b.is_void:
+            raise CompileError("void value in expression", line)
+        if a.is_pointer or a.is_array:
+            return a.decayed()
+        if b.is_pointer or b.is_array:
+            return b.decayed()
+        return UNSIGNED if (a.is_unsigned or b.is_unsigned) else INT
+
+    def _assign(self, expr: A.Assign) -> CType:
+        target = self._expr(expr.target)
+        self._expr(expr.value)
+        self._require_lvalue(expr.target)
+        if target.is_array:
+            raise CompileError("cannot assign to an array", expr.line)
+        return target
+
+    def _require_lvalue(self, expr: A.Expr) -> None:
+        if isinstance(expr, (A.Ident, A.Deref, A.Index)):
+            return
+        if isinstance(expr, A.Cast):
+            self._require_lvalue(expr.operand)
+            return
+        raise CompileError("expression is not an lvalue",
+                           getattr(expr, "line", 0))
+
+    # ------------------------------------------------------------------
+    # Queries used by codegen
+    # ------------------------------------------------------------------
+
+    def signature(self, name: str) -> FunctionInfo | None:
+        return self.functions.get(name)
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def analyze(unit: A.TranslationUnit) -> SemanticAnalyzer:
+    analyzer = SemanticAnalyzer(unit)
+    analyzer.analyze()
+    return analyzer

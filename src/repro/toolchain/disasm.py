@@ -1,0 +1,204 @@
+"""SPARC V8 disassembler — the inverse of the assembler's encoder.
+
+Used by the debugger console of the control software, by error reporting
+in the FPX model, and heavily by tests: the encoder→disassembler→assembler
+round-trip is property-tested to pin down both directions.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.decode import DecodedInstruction, decode
+from repro.cpu.isa import (
+    BRANCH_MNEMONICS,
+    OP2_BICC,
+    OP2_CBCCC,
+    OP2_FBFCC,
+    OP2_SETHI,
+    OP2_UNIMP,
+    OP_ARITH,
+    OP_BRANCH_SETHI,
+    OP_CALL,
+    TRAP_MNEMONICS,
+    Cond,
+    Op3,
+    Op3Mem,
+)
+from repro.utils import u32
+
+_REG_NAMES = (
+    [f"%g{i}" for i in range(8)] + [f"%o{i}" for i in range(8)]
+    + [f"%l{i}" for i in range(8)] + [f"%i{i}" for i in range(8)]
+)
+
+_ALU_NAMES = {
+    Op3.ADD: "add", Op3.ADDCC: "addcc", Op3.ADDX: "addx", Op3.ADDXCC: "addxcc",
+    Op3.SUB: "sub", Op3.SUBCC: "subcc", Op3.SUBX: "subx", Op3.SUBXCC: "subxcc",
+    Op3.AND: "and", Op3.ANDCC: "andcc", Op3.ANDN: "andn", Op3.ANDNCC: "andncc",
+    Op3.OR: "or", Op3.ORCC: "orcc", Op3.ORN: "orn", Op3.ORNCC: "orncc",
+    Op3.XOR: "xor", Op3.XORCC: "xorcc", Op3.XNOR: "xnor", Op3.XNORCC: "xnorcc",
+    Op3.TADDCC: "taddcc", Op3.TSUBCC: "tsubcc",
+    Op3.TADDCCTV: "taddcctv", Op3.TSUBCCTV: "tsubcctv",
+    Op3.MULSCC: "mulscc",
+    Op3.UMUL: "umul", Op3.UMULCC: "umulcc",
+    Op3.SMUL: "smul", Op3.SMULCC: "smulcc",
+    Op3.UDIV: "udiv", Op3.UDIVCC: "udivcc",
+    Op3.SDIV: "sdiv", Op3.SDIVCC: "sdivcc",
+    Op3.SLL: "sll", Op3.SRL: "srl", Op3.SRA: "sra",
+    Op3.SAVE: "save", Op3.RESTORE: "restore",
+}
+
+_LOAD_NAMES = {
+    Op3Mem.LD: "ld", Op3Mem.LDUB: "ldub", Op3Mem.LDUH: "lduh",
+    Op3Mem.LDSB: "ldsb", Op3Mem.LDSH: "ldsh", Op3Mem.LDD: "ldd",
+    Op3Mem.LDA: "lda", Op3Mem.LDUBA: "lduba", Op3Mem.LDUHA: "lduha",
+    Op3Mem.LDSBA: "ldsba", Op3Mem.LDSHA: "ldsha", Op3Mem.LDDA: "ldda",
+    Op3Mem.LDSTUB: "ldstub", Op3Mem.LDSTUBA: "ldstuba",
+    Op3Mem.SWAP: "swap", Op3Mem.SWAPA: "swapa",
+}
+_STORE_NAMES = {
+    Op3Mem.ST: "st", Op3Mem.STB: "stb", Op3Mem.STH: "sth", Op3Mem.STD: "std",
+    Op3Mem.STA: "sta", Op3Mem.STBA: "stba", Op3Mem.STHA: "stha",
+    Op3Mem.STDA: "stda",
+}
+
+
+def _operand2(inst: DecodedInstruction) -> str:
+    if inst.imm:
+        return str(inst.simm13)
+    return _REG_NAMES[inst.rs2]
+
+
+def _address(inst: DecodedInstruction) -> str:
+    if inst.imm:
+        if inst.simm13 == 0:
+            return f"[{_REG_NAMES[inst.rs1]}]"
+        sign = "+" if inst.simm13 >= 0 else "-"
+        return f"[{_REG_NAMES[inst.rs1]} {sign} {abs(inst.simm13)}]"
+    # Keep the register form explicit even for %g0 so that the
+    # disassemble->assemble round trip is byte-exact (i=0 vs i=1).
+    return f"[{_REG_NAMES[inst.rs1]} + {_REG_NAMES[inst.rs2]}]"
+
+
+def disassemble(word: int, pc: int | None = None) -> str:
+    """Disassemble a single instruction word.
+
+    When *pc* is given, branch and call targets are shown as absolute
+    addresses instead of relative displacements.
+    """
+    inst = decode(u32(word))
+    op = inst.op
+    if op == OP_CALL:
+        if pc is not None:
+            return f"call 0x{u32(pc + (inst.disp30 << 2)):x}"
+        return f"call .{inst.disp30 << 2:+d}"
+    if op == OP_BRANCH_SETHI:
+        return _disasm_fmt2(inst, pc)
+    if op == OP_ARITH:
+        return _disasm_arith(inst, pc)
+    return _disasm_mem(inst)
+
+
+def _disasm_fmt2(inst: DecodedInstruction, pc: int | None) -> str:
+    if inst.op2 == OP2_SETHI:
+        if inst.rd == 0 and inst.imm22 == 0:
+            return "nop"
+        return f"sethi %hi(0x{inst.imm22 << 10:x}), {_REG_NAMES[inst.rd]}"
+    if inst.op2 == OP2_BICC:
+        name = BRANCH_MNEMONICS[Cond(inst.cond)]
+        if inst.annul:
+            name += ",a"
+        if pc is not None:
+            return f"{name} 0x{u32(pc + (inst.disp22 << 2)):x}"
+        return f"{name} .{inst.disp22 << 2:+d}"
+    if inst.op2 == OP2_UNIMP:
+        return f"unimp 0x{inst.imm22:x}"
+    if inst.op2 == OP2_FBFCC:
+        return f"fbfcc<{inst.cond}> (fp disabled)"
+    if inst.op2 == OP2_CBCCC:
+        return f"cbccc<{inst.cond}> (cp disabled)"
+    return f".word 0x{inst.word:08x}"
+
+
+def _disasm_arith(inst: DecodedInstruction, pc: int | None) -> str:
+    try:
+        op3 = Op3(inst.op3)
+    except ValueError:
+        return f".word 0x{inst.word:08x}"
+    rd, rs1 = _REG_NAMES[inst.rd], _REG_NAMES[inst.rs1]
+    if op3 in _ALU_NAMES:
+        return f"{_ALU_NAMES[op3]} {rs1}, {_operand2(inst)}, {rd}"
+    if op3 == Op3.JMPL:
+        if inst.rd == 0 and inst.rs1 == 31 and inst.imm and inst.simm13 == 8:
+            return "ret"
+        if inst.rd == 0 and inst.rs1 == 15 and inst.imm and inst.simm13 == 8:
+            return "retl"
+        return f"jmpl {rs1} + {_operand2(inst)}, {rd}"
+    if op3 == Op3.RETT:
+        return f"rett {rs1} + {_operand2(inst)}"
+    if op3 == Op3.TICC:
+        name = TRAP_MNEMONICS[Cond(inst.cond)]
+        return f"{name} {rs1} + {_operand2(inst)}"
+    if op3 == Op3.RDASR:
+        src = "%y" if inst.rs1 == 0 else f"%asr{inst.rs1}"
+        return f"rd {src}, {rd}"
+    if op3 == Op3.RDPSR:
+        return f"rd %psr, {rd}"
+    if op3 == Op3.RDWIM:
+        return f"rd %wim, {rd}"
+    if op3 == Op3.RDTBR:
+        return f"rd %tbr, {rd}"
+    if op3 == Op3.WRASR:
+        dst = "%y" if inst.rd == 0 else f"%asr{inst.rd}"
+        return f"wr {rs1}, {_operand2(inst)}, {dst}"
+    if op3 == Op3.WRPSR:
+        return f"wr {rs1}, {_operand2(inst)}, %psr"
+    if op3 == Op3.WRWIM:
+        return f"wr {rs1}, {_operand2(inst)}, %wim"
+    if op3 == Op3.WRTBR:
+        return f"wr {rs1}, {_operand2(inst)}, %tbr"
+    if op3 == Op3.FLUSH:
+        return f"flush {_address_from_arith(inst)}"
+    if op3 == Op3.CPOP1:
+        return (f"custom {inst.opf}, {rs1}, {_REG_NAMES[inst.rs2]}, {rd}")
+    if op3 in (Op3.FPOP1, Op3.FPOP2, Op3.CPOP2):
+        return f".word 0x{inst.word:08x}  ! {op3.name.lower()}"
+    return f".word 0x{inst.word:08x}"
+
+
+def _address_from_arith(inst: DecodedInstruction) -> str:
+    if inst.imm:
+        if inst.simm13 == 0:
+            return f"[{_REG_NAMES[inst.rs1]}]"
+        sign = "+" if inst.simm13 >= 0 else "-"
+        return f"[{_REG_NAMES[inst.rs1]} {sign} {abs(inst.simm13)}]"
+    return f"[{_REG_NAMES[inst.rs1]} + {_REG_NAMES[inst.rs2]}]"
+
+
+def _disasm_mem(inst: DecodedInstruction) -> str:
+    try:
+        op3 = Op3Mem(inst.op3)
+    except ValueError:
+        return f".word 0x{inst.word:08x}"
+    rd = _REG_NAMES[inst.rd]
+    addr = _address(inst)
+    if op3 in _LOAD_NAMES:
+        name = _LOAD_NAMES[op3]
+        if name.endswith("a") and op3.name.endswith("A"):
+            return f"{name} {addr[:-1]}] {inst.asi}, {rd}".replace("]]", "]")
+        return f"{name} {addr}, {rd}"
+    if op3 in _STORE_NAMES:
+        name = _STORE_NAMES[op3]
+        if name.endswith("a") and op3.name.endswith("A"):
+            return f"{name} {rd}, {addr} {inst.asi}"
+        return f"{name} {rd}, {addr}"
+    return f".word 0x{inst.word:08x}"
+
+
+def disassemble_block(data: bytes, base: int = 0) -> list[str]:
+    """Disassemble a block of words, one line per instruction."""
+    lines = []
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset:offset + 4], "big")
+        lines.append(f"{base + offset:08x}:  {word:08x}  "
+                     f"{disassemble(word, base + offset)}")
+    return lines

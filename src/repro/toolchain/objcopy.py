@@ -1,0 +1,41 @@
+"""OBJCOPY stage: linked image → flat binary / hex dump.
+
+In the paper's flow, OBJCOPY converts the linked executable to a raw
+binary and a small Forth program turns it into UDP payloads.  Here the
+flat binary feeds :func:`repro.net.protocol.packetize_program` (the Forth
+program's role).
+"""
+
+from __future__ import annotations
+
+from repro.toolchain.objfile import Image
+
+
+def to_binary(image: Image, fill: int = 0) -> tuple[int, bytes]:
+    """Return ``(load_address, blob)`` for the whole image, gap-filled."""
+    return image.flatten(fill)
+
+
+def to_words(image: Image) -> dict[int, int]:
+    """Return a ``{word_address: word_value}`` mapping (big-endian words)."""
+    words: dict[int, int] = {}
+    for base, data in image.segments.items():
+        padded = data + b"\x00" * (-len(data) % 4)
+        for offset in range(0, len(padded), 4):
+            words[base + offset] = int.from_bytes(padded[offset:offset + 4],
+                                                  "big")
+    return words
+
+
+def hexdump(image: Image, width: int = 16) -> str:
+    """Human-readable dump, one segment per block (debugging aid)."""
+    lines: list[str] = []
+    for base in sorted(image.segments):
+        data = image.segments[base]
+        lines.append(f"segment 0x{base:08x} ({len(data)} bytes)")
+        for offset in range(0, len(data), width):
+            chunk = data[offset:offset + width]
+            hexpart = " ".join(f"{b:02x}" for b in chunk)
+            asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+            lines.append(f"  {base + offset:08x}  {hexpart:<{width * 3}} {asciipart}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Minimal C runtime library for Liquid programs.
+
+The paper's LECCS toolchain shipped newlib; our mini-C programs get the
+same essentials as *source* that the driver can link in: memory and
+string routines, and console output through the LEON UART's memory-
+mapped data register (which the model's :class:`~repro.peripherals.uart
+.Uart` collects into ``transmitted()``).
+
+Everything is plain mini-C compiled by our own compiler — there is no
+host-Python fast path, so these routines exercise the same CPU, caches
+and buses as user code.  Include them with::
+
+    build_image([SourceFile(user_code), SourceFile(LIBC_SOURCE, "c")])
+
+or, more conveniently, ``compile_c_program(user_code, with_libc=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.mem.memmap import APB_BASE, UART_OFFSET
+
+UART_DATA_ADDRESS = APB_BASE + UART_OFFSET
+
+#: The library source.  Functions deliberately mirror their ISO C
+#: namesakes (sizes in bytes, NUL-terminated strings, memcpy returns
+#: dest) so kernels can be ported in and out of the model unchanged.
+LIBC_SOURCE = f"""
+/* ---- Liquid runtime library (linked on request) -------------------- */
+
+void *memcpy(void *dest, void *src, unsigned n) {{
+    char *d = (char*)dest;
+    char *s = (char*)src;
+    /* word-at-a-time when both pointers and the length allow it */
+    if ((((unsigned)d | (unsigned)s | n) & 3) == 0) {{
+        unsigned *dw = (unsigned*)dest;
+        unsigned *sw = (unsigned*)src;
+        unsigned words = n >> 2;
+        for (unsigned i = 0; i < words; i++) dw[i] = sw[i];
+        return dest;
+    }}
+    for (unsigned i = 0; i < n; i++) d[i] = s[i];
+    return dest;
+}}
+
+void *memset(void *dest, int value, unsigned n) {{
+    char *d = (char*)dest;
+    for (unsigned i = 0; i < n; i++) d[i] = (char)value;
+    return dest;
+}}
+
+int memcmp(void *a, void *b, unsigned n) {{
+    unsigned char *pa = (unsigned char*)a;
+    unsigned char *pb = (unsigned char*)b;
+    for (unsigned i = 0; i < n; i++) {{
+        if (pa[i] != pb[i]) return pa[i] < pb[i] ? -1 : 1;
+    }}
+    return 0;
+}}
+
+unsigned strlen(char *s) {{
+    unsigned n = 0;
+    while (s[n]) n++;
+    return n;
+}}
+
+int strcmp(char *a, char *b) {{
+    unsigned i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    unsigned char ca = (unsigned char)a[i];
+    unsigned char cb = (unsigned char)b[i];
+    return ca == cb ? 0 : (ca < cb ? -1 : 1);
+}}
+
+char *strcpy(char *dest, char *src) {{
+    unsigned i = 0;
+    while ((dest[i] = src[i]) != 0) i++;
+    return dest;
+}}
+
+int abs(int v) {{
+    return v < 0 ? -v : v;
+}}
+
+/* ---- console: the LEON UART data register --------------------------- */
+
+void putchar_uart(int c) {{
+    volatile unsigned *uart = (unsigned*){UART_DATA_ADDRESS};
+    *uart = (unsigned)c;
+}}
+
+void puts_uart(char *s) {{
+    unsigned i = 0;
+    while (s[i]) {{
+        putchar_uart(s[i]);
+        i++;
+    }}
+    putchar_uart('\\n');
+}}
+
+void print_unsigned(unsigned value) {{
+    char digits[12];
+    int n = 0;
+    if (value == 0) {{
+        putchar_uart('0');
+        return;
+    }}
+    while (value) {{
+        digits[n] = (char)('0' + value % 10);
+        value = value / 10;
+        n++;
+    }}
+    while (n) {{
+        n--;
+        putchar_uart(digits[n]);
+    }}
+}}
+
+void print_hex(unsigned value) {{
+    putchar_uart('0');
+    putchar_uart('x');
+    for (int shift = 28; shift >= 0; shift -= 4) {{
+        unsigned nibble = (value >> shift) & 0xF;
+        putchar_uart(nibble < 10 ? '0' + (int)nibble
+                                 : 'a' + (int)nibble - 10);
+    }}
+}}
+"""
+
+#: Names the library defines (the driver uses this to pre-declare them
+#: for user translation units, C89 style).
+LIBC_DECLARATIONS = """
+void *memcpy(void *dest, void *src, unsigned n);
+void *memset(void *dest, int value, unsigned n);
+int memcmp(void *a, void *b, unsigned n);
+unsigned strlen(char *s);
+int strcmp(char *a, char *b);
+char *strcpy(char *dest, char *src);
+int abs(int v);
+void putchar_uart(int c);
+void puts_uart(char *s);
+void print_unsigned(unsigned value);
+void print_hex(unsigned value);
+"""

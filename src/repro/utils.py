@@ -1,0 +1,82 @@
+"""Bit-manipulation helpers shared across the simulator.
+
+Everything in the model operates on Python integers constrained to 32-bit
+(or 64-bit, for the FPX SDRAM data path) unsigned values.  These helpers
+centralise masking, sign extension and field extraction so the instruction
+semantics in :mod:`repro.cpu.execute` read like the SPARC V8 manual.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def u32(value: int) -> int:
+    """Truncate *value* to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def u64(value: int) -> int:
+    """Truncate *value* to an unsigned 64-bit integer."""
+    return value & MASK64
+
+
+def s32(value: int) -> int:
+    """Reinterpret the low 32 bits of *value* as a signed integer."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* bits of *value* to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit *index* of *value* (0 or 1)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Return the inclusive bit-field ``value[hi:lo]`` as an unsigned int."""
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def set_field(value: int, hi: int, lo: int, field: int) -> int:
+    """Return *value* with the inclusive bit-field ``[hi:lo]`` replaced."""
+    width = hi - lo + 1
+    mask = ((1 << width) - 1) << lo
+    return (value & ~mask) | ((field << lo) & mask)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when *value* is a multiple of *alignment* (a power of two)."""
+    return (value & (alignment - 1)) == 0
+
+
+def rotate_left32(value: int, count: int) -> int:
+    """Rotate a 32-bit value left by *count* bits."""
+    count &= 31
+    value &= MASK32
+    return u32((value << count) | (value >> (32 - count)))
+
+
+def popcount32(value: int) -> int:
+    """Population count of the low 32 bits (used by the custom-insn demo)."""
+    return bin(value & MASK32).count("1")
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` requiring *value* to be a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

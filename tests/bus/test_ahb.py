@@ -1,0 +1,135 @@
+"""AHB bus tests: decoding, cycle accounting, bursts, errors."""
+
+import pytest
+
+from repro.bus.ahb import AhbBus, AhbConfig
+from repro.mem.interface import BusError
+from repro.mem.sram import SramBank
+
+
+def make_bus(**config):
+    bus = AhbBus(AhbConfig(**config)) if config else AhbBus()
+    sram = SramBank(0x4000_0000, 0x10000)
+    bus.attach(sram, 0x4000_0000, 0x10000, "sram")
+    return bus, sram
+
+
+class TestDecoding:
+    def test_read_write_roundtrip(self):
+        bus, _ = make_bus()
+        bus.write(0x4000_0010, 4, 0xABCD)
+        value, _ = bus.read(0x4000_0010, 4)
+        assert value == 0xABCD
+
+    def test_unmapped_address_raises(self):
+        bus, _ = make_bus()
+        with pytest.raises(BusError):
+            bus.read(0x9000_0000, 4)
+        assert bus.error_count == 1
+
+    def test_overlapping_attach_rejected(self):
+        bus, _ = make_bus()
+        with pytest.raises(ValueError):
+            bus.attach(SramBank(0x4000_8000, 0x1000), 0x4000_8000, 0x1000)
+
+    def test_adjacent_regions_allowed(self):
+        bus, _ = make_bus()
+        bus.attach(SramBank(0x4001_0000, 0x1000), 0x4001_0000, 0x1000)
+        bus.write(0x4001_0000, 4, 5)
+        assert bus.read(0x4001_0000, 4)[0] == 5
+
+    def test_topology_report(self):
+        bus, _ = make_bus()
+        topo = bus.topology()
+        assert topo[0]["name"] == "sram"
+        assert topo[0]["base"] == 0x4000_0000
+
+
+class TestCycleAccounting:
+    def test_single_read_cost(self):
+        bus, _ = make_bus()
+        _, cycles = bus.read(0x4000_0000, 4)
+        # address phase + 1 data beat + 0 wait states
+        assert cycles == 2
+
+    def test_wait_states_added(self):
+        bus = AhbBus()
+        slow = SramBank(0x4000_0000, 0x1000, wait_states=3)
+        bus.attach(slow, 0x4000_0000, 0x1000)
+        _, cycles = bus.read(0x4000_0000, 4)
+        assert cycles == 2 + 3
+
+    def test_arbitration_cost_config(self):
+        bus = AhbBus(AhbConfig(arbitration_cycles=2))
+        bus.attach(SramBank(0x4000_0000, 0x1000), 0x4000_0000, 0x1000)
+        _, cycles = bus.read(0x4000_0000, 4)
+        assert cycles == 4
+
+    def test_burst_cheaper_than_singles(self):
+        bus, _ = make_bus()
+        _, burst_cycles = bus.read_burst(0x4000_0000, 8)
+        single_total = sum(bus.read(0x4000_0000 + 4 * i, 4)[1]
+                           for i in range(8))
+        assert burst_cycles < single_total
+
+    def test_burst_cost_formula(self):
+        bus, _ = make_bus()
+        _, cycles = bus.read_burst(0x4000_0000, 8)
+        assert cycles == 1 + 8  # address + 8 pipelined beats
+
+
+class TestBursts:
+    def test_burst_returns_all_words(self):
+        bus, sram = make_bus()
+        for index in range(8):
+            sram.host_write_word(0x4000_0100 + 4 * index, index * 10)
+        words, _ = bus.read_burst(0x4000_0100, 8)
+        assert words == [0, 10, 20, 30, 40, 50, 60, 70]
+
+    def test_burst_crossing_slave_boundary_rejected(self):
+        bus, _ = make_bus()
+        with pytest.raises(BusError):
+            bus.read_burst(0x4000_FFFC, 4)
+
+    def test_burst_length_limits(self):
+        bus, _ = make_bus()
+        with pytest.raises(ValueError):
+            bus.read_burst(0x4000_0000, 0)
+        with pytest.raises(ValueError):
+            bus.read_burst(0x4000_0000, 100000)
+
+    def test_write_burst_lands_in_memory(self):
+        bus, sram = make_bus()
+        bus.write_burst(0x4000_0200, [1, 2, 3, 4])
+        assert [sram.host_read_word(0x4000_0200 + 4 * i)
+                for i in range(4)] == [1, 2, 3, 4]
+
+    def test_write_burst_falls_back_for_nonburst_slave(self):
+        """Slaves flagged supports_write_burst=False get single writes
+        (paper 3.2: the SDRAM adapter disallows write bursts)."""
+
+        class NoWriteBurst(SramBank):
+            supports_write_burst = False
+
+            def __init__(self):
+                super().__init__(0x5000_0000, 0x1000)
+                self.burst_calls = 0
+
+            def write_burst(self, address, words):
+                self.burst_calls += 1
+                return 0
+
+        slave = NoWriteBurst()
+        bus = AhbBus()
+        bus.attach(slave, 0x5000_0000, 0x1000)
+        bus.write_burst(0x5000_0000, [7, 8])
+        assert slave.burst_calls == 0
+        assert slave.host_read_word(0x5000_0000) == 7
+
+    def test_statistics_counters(self):
+        bus, _ = make_bus()
+        bus.read(0x4000_0000, 4)
+        bus.read_burst(0x4000_0000, 8)
+        assert bus.transfers == 2
+        assert bus.burst_transfers == 1
+        assert bus.data_beats == 9

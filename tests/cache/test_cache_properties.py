@@ -1,0 +1,102 @@
+"""Property-based cache tests against a naive reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheGeometry, SetAssociativeCache
+
+
+class ReferenceLruCache:
+    """Obviously-correct LRU set-associative model (dict of lists)."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.sets: dict[int, list[int]] = {}
+
+    def access(self, address: int) -> bool:
+        """Reference a line; True on hit.  Misses always fill."""
+        line = address // self.geometry.line_size
+        index = line % self.geometry.sets
+        resident = self.sets.setdefault(index, [])
+        if line in resident:
+            resident.remove(line)
+            resident.append(line)
+            return True
+        resident.append(line)
+        if len(resident) > self.geometry.ways:
+            resident.pop(0)
+        return False
+
+
+geometries = st.builds(
+    CacheGeometry,
+    size=st.sampled_from([512, 1024, 4096]),
+    line_size=st.sampled_from([16, 32]),
+    ways=st.sampled_from([1, 2, 4]),
+    replacement=st.just("lru"),
+)
+
+address_lists = st.lists(
+    st.integers(min_value=0, max_value=0x3FFF).map(lambda x: x * 4),
+    min_size=1, max_size=300,
+)
+
+
+class TestAgainstReference:
+    @given(geometry=geometries, addresses=address_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_sequence_matches_reference(self, geometry, addresses):
+        cache = SetAssociativeCache(geometry)
+        reference = ReferenceLruCache(geometry)
+        for address in addresses:
+            got_hit = cache.read(address, 4) is not None
+            if not got_hit:
+                cache.fill(geometry.line_base(address),
+                           bytes(geometry.line_size))
+            expected_hit = reference.access(address)
+            assert got_hit == expected_hit, f"address 0x{address:x}"
+
+    @given(geometry=geometries, addresses=address_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_resident_lines_never_exceed_capacity(self, geometry, addresses):
+        cache = SetAssociativeCache(geometry)
+        for address in addresses:
+            if cache.read(address, 4) is None:
+                cache.fill(geometry.line_base(address),
+                           bytes(geometry.line_size))
+        assert cache.valid_lines <= geometry.sets * geometry.ways
+        for index, tags in cache.contents_summary().items():
+            assert len(tags) <= geometry.ways
+            assert len(set(tags)) == len(tags)  # no duplicate tags in a set
+
+    @given(addresses=address_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_data_integrity_under_fills(self, addresses):
+        """Whatever is resident always reads back what was filled."""
+        geometry = CacheGeometry(1024, 32)
+        cache = SetAssociativeCache(geometry)
+        expected: dict[int, bytes] = {}
+        for address in addresses:
+            base = geometry.line_base(address)
+            payload = base.to_bytes(4, "big") * 8
+            cache.fill(base, payload)
+            expected[base] = payload
+        for base, payload in expected.items():
+            value = cache.read(base, 4)
+            if value is not None:  # may have been evicted
+                assert value == int.from_bytes(payload[:4], "big")
+
+    @given(addresses=address_lists, size_a=st.sampled_from([512, 1024]),
+           factor=st.sampled_from([2, 4]))
+    @settings(max_examples=30, deadline=None)
+    def test_larger_cache_never_misses_more_lru_full_assoc(
+            self, addresses, size_a, factor):
+        """LRU inclusion property holds for fully-associative caches."""
+
+        def misses(size: int) -> int:
+            geometry = CacheGeometry(size, 32, ways=size // 32)
+            reference = ReferenceLruCache(geometry)
+            return sum(not reference.access(address)
+                       for address in addresses)
+
+        assert misses(size_a * factor) <= misses(size_a)

@@ -1,0 +1,34 @@
+"""Fixtures for compiler tests: one shared platform, many programs."""
+
+import pytest
+
+from repro.control import DirectTransport, LiquidClient
+from repro.fpx import FPXPlatform
+from repro.mem.memmap import DEFAULT_MAP
+from repro.net.protocol import LeonState
+from repro.toolchain.driver import compile_c_program
+from repro.utils import s32
+
+
+@pytest.fixture(scope="module")
+def c_run():
+    """Compile a C program, run it remotely, return main()'s value
+    (signed).  One platform is shared per test module — reloading a new
+    program over the control protocol is exactly what the paper's flow
+    does between experiments."""
+    platform = FPXPlatform()
+    platform.boot()
+    client = LiquidClient(DirectTransport(platform,
+                                          platform.config.device_ip,
+                                          platform.config.control_port))
+
+    def run(source: str, max_instructions: int = 5_000_000) -> int:
+        image = compile_c_program(source)
+        result = client.run_image(image,
+                                  result_addr=DEFAULT_MAP.result_addr,
+                                  max_instructions=max_instructions)
+        assert platform.leon_ctrl.state == LeonState.DONE, \
+            f"program ended in state {platform.leon_ctrl.state!r}"
+        return s32(result.result_word)
+
+    return run

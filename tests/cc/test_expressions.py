@@ -1,0 +1,209 @@
+"""Mini-C expression semantics, executed on the simulated LEON."""
+
+import pytest
+
+
+class TestArithmetic:
+    def test_literals_and_return(self, c_run):
+        assert c_run("int main(void) { return 42; }") == 42
+
+    def test_negative_return(self, c_run):
+        assert c_run("int main(void) { return -7; }") == -7
+
+    def test_hex_char_literals(self, c_run):
+        assert c_run("int main(void) { return 0x2A; }") == 42
+        assert c_run("int main(void) { return 'A'; }") == 65
+        assert c_run(r"int main(void) { return '\n'; }") == 10
+
+    def test_basic_operators(self, c_run):
+        assert c_run("int main(void) { return 6 * 7; }") == 42
+        assert c_run("int main(void) { return 100 - 58; }") == 42
+        assert c_run("int main(void) { return 84 / 2; }") == 42
+        assert c_run("int main(void) { return 142 % 100; }") == 42
+
+    def test_precedence(self, c_run):
+        assert c_run("int main(void) { return 2 + 3 * 4; }") == 14
+        assert c_run("int main(void) { return (2 + 3) * 4; }") == 20
+        assert c_run("int main(void) { return 20 - 4 - 6; }") == 10
+
+    def test_signed_division_truncates(self, c_run):
+        assert c_run("int main(void) { int a = -7; return a / 2; }") == -3
+        assert c_run("int main(void) { int a = -7; return a % 2; }") == -1
+
+    def test_unsigned_division(self, c_run):
+        assert c_run("""
+unsigned main(void) {
+    unsigned a = 0xFFFFFFF0u;
+    return a / 16 == 0x0FFFFFFF;
+}""") == 1
+
+    def test_strength_reduced_operations(self, c_run):
+        assert c_run("""
+int main(void) {
+    unsigned i = 100;
+    return i * 8 + i / 4 + i % 32;
+}""") == 800 + 25 + 4
+
+    def test_bitwise(self, c_run):
+        assert c_run("int main(void) { return 0xF0 | 0x0F; }") == 0xFF
+        assert c_run("int main(void) { return 0xFF & 0x18; }") == 0x18
+        assert c_run("int main(void) { return 0xFF ^ 0x0F; }") == 0xF0
+        assert c_run("int main(void) { return ~0; }") == -1
+
+    def test_shifts(self, c_run):
+        assert c_run("int main(void) { return 1 << 10; }") == 1024
+        assert c_run("int main(void) { return 1024 >> 3; }") == 128
+        assert c_run("int main(void) { int a = -8; return a >> 1; }") == -4
+        assert c_run("""
+int main(void) {
+    unsigned a = 0x80000000u;
+    return (a >> 31) == 1;
+}""") == 1
+
+    def test_unary(self, c_run):
+        assert c_run("int main(void) { int a = 5; return -a; }") == -5
+        assert c_run("int main(void) { return !0 + !5; }") == 1
+
+    def test_comma_operator(self, c_run):
+        assert c_run("int main(void) { int a; return (a = 3, a + 1); }") == 4
+
+
+class TestComparisonsAndLogic:
+    @pytest.mark.parametrize("expr,value", [
+        ("1 < 2", 1), ("2 < 1", 0), ("2 <= 2", 1), ("3 <= 2", 0),
+        ("2 > 1", 1), ("1 > 2", 0), ("2 >= 2", 1), ("1 >= 2", 0),
+        ("1 == 1", 1), ("1 == 2", 0), ("1 != 2", 1), ("2 != 2", 0),
+    ])
+    def test_relational(self, c_run, expr, value):
+        assert c_run(f"int main(void) {{ return {expr}; }}") == value
+
+    def test_signed_comparison_with_negatives(self, c_run):
+        assert c_run("int main(void) { int a = -1; return a < 1; }") == 1
+
+    def test_unsigned_comparison_wraps(self, c_run):
+        assert c_run("""
+int main(void) {
+    unsigned a = 0xFFFFFFFFu;
+    return a > 1u;
+}""") == 1
+
+    def test_logical_and_or(self, c_run):
+        assert c_run("int main(void) { return 1 && 2; }") == 1
+        assert c_run("int main(void) { return 1 && 0; }") == 0
+        assert c_run("int main(void) { return 0 || 3; }") == 1
+        assert c_run("int main(void) { return 0 || 0; }") == 0
+
+    def test_short_circuit_skips_side_effects(self, c_run):
+        assert c_run("""
+int g = 0;
+int bump(void) { g = g + 1; return 1; }
+int main(void) {
+    0 && bump();
+    1 || bump();
+    return g;
+}""") == 0
+
+    def test_short_circuit_evaluates_when_needed(self, c_run):
+        assert c_run("""
+int g = 0;
+int bump(void) { g = g + 1; return 1; }
+int main(void) {
+    1 && bump();
+    0 || bump();
+    return g;
+}""") == 2
+
+    def test_ternary(self, c_run):
+        assert c_run("int main(void) { return 1 ? 10 : 20; }") == 10
+        assert c_run("int main(void) { return 0 ? 10 : 20; }") == 20
+        assert c_run("""
+int main(void) {
+    int x = 7;
+    return x > 5 ? x * 2 : x - 1;
+}""") == 14
+
+
+class TestAssignment:
+    def test_simple_and_chained(self, c_run):
+        assert c_run("""
+int main(void) {
+    int a, b;
+    a = b = 21;
+    return a + b;
+}""") == 42
+
+    def test_assignment_is_an_expression(self, c_run):
+        assert c_run("int main(void) { int a; return (a = 9) + 1; }") == 10
+
+    @pytest.mark.parametrize("op,start,operand,expect", [
+        ("+=", 40, 2, 42), ("-=", 50, 8, 42), ("*=", 6, 7, 42),
+        ("/=", 84, 2, 42), ("%=", 142, 100, 42),
+        ("&=", 0xFF, 0x2A, 42), ("|=", 0x28, 0x02, 42),
+        ("^=", 0x6A, 0x40, 42), ("<<=", 21, 1, 42), (">>=", 84, 1, 42),
+    ])
+    def test_compound_assignment(self, c_run, op, start, operand, expect):
+        assert c_run(f"""
+int main(void) {{
+    int a = {start};
+    a {op} {operand};
+    return a;
+}}""") == expect
+
+    def test_increment_decrement(self, c_run):
+        assert c_run("""
+int main(void) {
+    int a = 5;
+    int pre = ++a;     /* a=6, pre=6 */
+    int post = a++;    /* a=7, post=6 */
+    int predec = --a;  /* a=6 */
+    int postdec = a--; /* a=5, postdec=6 */
+    return a * 1000 + pre * 100 + post * 10 + (predec + postdec - 12);
+}""") == 5660
+
+    def test_incdec_through_pointer(self, c_run):
+        assert c_run("""
+int main(void) {
+    int x = 10;
+    int *p = &x;
+    (*p)++;
+    ++*p;
+    return x;
+}""") == 12
+
+
+class TestTypesAndCasts:
+    def test_char_is_signed_byte(self, c_run):
+        assert c_run("""
+int main(void) {
+    char c = 200;   /* wraps to -56 */
+    return c;
+}""") == -56
+
+    def test_unsigned_char(self, c_run):
+        assert c_run("""
+int main(void) {
+    unsigned char c = 200;
+    return c;
+}""") == 200
+
+    def test_cast_truncates(self, c_run):
+        assert c_run("int main(void) { return (char)0x1FF; }") == -1
+        assert c_run("int main(void) { return (unsigned char)0x1FF; }") == 255
+
+    def test_sizeof(self, c_run):
+        assert c_run("int main(void) { return sizeof(int); }") == 4
+        assert c_run("int main(void) { return sizeof(char); }") == 1
+        assert c_run("int main(void) { return sizeof(int*); }") == 4
+        assert c_run("""
+int main(void) {
+    int arr[10];
+    return sizeof arr;
+}""") == 40
+
+    def test_unsigned_wraparound(self, c_run):
+        assert c_run("""
+int main(void) {
+    unsigned a = 0;
+    a = a - 1;
+    return a == 0xFFFFFFFFu;
+}""") == 1

@@ -1,0 +1,272 @@
+"""Functions, recursion, pointers, arrays, strings — on the simulated LEON."""
+
+import pytest
+
+from repro.toolchain.cc.cast import CompileError
+
+
+class TestFunctions:
+    def test_call_with_arguments(self, c_run):
+        assert c_run("""
+int add3(int a, int b, int c) { return a + b + c; }
+int main(void) { return add3(10, 20, 12); }""") == 42
+
+    def test_six_arguments(self, c_run):
+        assert c_run("""
+int sum6(int a, int b, int c, int d, int e, int f) {
+    return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+int main(void) { return sum6(1, 2, 3, 4, 5, 6); }""") == 91
+
+    def test_void_function(self, c_run):
+        assert c_run("""
+int g;
+void set_g(int v) { g = v; }
+int main(void) { set_g(31); return g; }""") == 31
+
+    def test_forward_declaration(self, c_run):
+        assert c_run("""
+int later(int x);
+int main(void) { return later(4); }
+int later(int x) { return x * x; }""") == 16
+
+    def test_nested_calls(self, c_run):
+        assert c_run("""
+int twice(int x) { return x * 2; }
+int inc(int x) { return x + 1; }
+int main(void) { return twice(inc(twice(5))); }""") == 22
+
+    def test_call_in_expression_preserves_temporaries(self, c_run):
+        """Window-local temporaries must survive the call."""
+        assert c_run("""
+int f(int x) { return x + 1; }
+int main(void) {
+    int a = 100;
+    return a + f(1) * 10;
+}""") == 120
+
+    def test_recursion_factorial(self, c_run):
+        assert c_run("""
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main(void) { return fact(7); }""") == 5040
+
+    def test_deep_recursion_spills_windows(self, c_run):
+        """Depth 40 >> NWINDOWS=8 — exercises the boot ROM's window
+        overflow/underflow handlers under compiled code."""
+        assert c_run("""
+int depth(int n) {
+    if (n == 0) return 0;
+    return 1 + depth(n - 1);
+}
+int main(void) { return depth(40); }""") == 40
+
+    def test_mutual_recursion(self, c_run):
+        assert c_run("""
+int is_odd(int n);
+int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+int main(void) { return is_even(10) * 10 + is_odd(7); }""") == 11
+
+    def test_fibonacci(self, c_run):
+        assert c_run("""
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(12); }""") == 144
+
+    def test_param_is_writable_copy(self, c_run):
+        assert c_run("""
+int mangle(int x) { x = x * 2; return x; }
+int main(void) {
+    int v = 5;
+    mangle(v);
+    return v;
+}""") == 5
+
+    def test_too_many_params_rejected(self, c_run):
+        with pytest.raises(CompileError):
+            c_run("""
+int f(int a, int b, int c, int d, int e, int f, int g) { return 0; }
+int main(void) { return 0; }""")
+
+    def test_wrong_arity_rejected(self, c_run):
+        with pytest.raises(CompileError):
+            c_run("""
+int f(int a) { return a; }
+int main(void) { return f(1, 2); }""")
+
+    def test_undeclared_function_rejected(self, c_run):
+        with pytest.raises(CompileError):
+            c_run("int main(void) { return missing(); }")
+
+
+class TestPointers:
+    def test_address_of_and_deref(self, c_run):
+        assert c_run("""
+int main(void) {
+    int x = 8;
+    int *p = &x;
+    return *p + 1;
+}""") == 9
+
+    def test_write_through_pointer(self, c_run):
+        assert c_run("""
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    *p = 42;
+    return x;
+}""") == 42
+
+    def test_pointer_to_param_output_argument(self, c_run):
+        assert c_run("""
+void divide(int num, int den, int *quot, int *rem) {
+    *quot = num / den;
+    *rem = num % den;
+}
+int main(void) {
+    int q, r;
+    divide(47, 5, &q, &r);
+    return q * 10 + r;
+}""") == 92
+
+    def test_pointer_arithmetic_scales(self, c_run):
+        assert c_run("""
+int arr[4] = {10, 20, 30, 40};
+int main(void) {
+    int *p = arr;
+    p = p + 2;
+    return *p;
+}""") == 30
+
+    def test_pointer_increment(self, c_run):
+        assert c_run("""
+int arr[3] = {5, 6, 7};
+int main(void) {
+    int *p = arr;
+    p++;
+    return *p;
+}""") == 6
+
+    def test_pointer_difference(self, c_run):
+        assert c_run("""
+int arr[8];
+int main(void) {
+    int *a = &arr[1];
+    int *b = &arr[6];
+    return b - a;
+}""") == 5
+
+    def test_pointer_comparison(self, c_run):
+        assert c_run("""
+int arr[4];
+int main(void) {
+    return &arr[3] > &arr[0];
+}""") == 1
+
+    def test_pointer_to_pointer(self, c_run):
+        assert c_run("""
+int main(void) {
+    int x = 13;
+    int *p = &x;
+    int **pp = &p;
+    **pp = 26;
+    return x;
+}""") == 26
+
+    def test_char_pointer_walks_bytes(self, c_run):
+        assert c_run("""
+int main(void) {
+    int word = 0x01020304;
+    char *p = (char*)&word;
+    return p[0] * 1000 + p[3];   /* big-endian: 1, 4 */
+}""") == 1004
+
+    def test_volatile_pointer_mmio_reads_cycle_counter(self, c_run):
+        """Reading the FPX cycle counter through a volatile pointer —
+        real memory-mapped I/O through compiled code."""
+        assert c_run("""
+int main(void) {
+    volatile unsigned *counter = (unsigned*)0x80000100;
+    unsigned first = *counter;
+    unsigned second = *counter;
+    return second >= first;
+}""") == 1
+
+
+class TestArrays:
+    def test_local_array_indexing(self, c_run):
+        assert c_run("""
+int main(void) {
+    int arr[5];
+    for (int i = 0; i < 5; i++) arr[i] = i * i;
+    return arr[4] + arr[2];
+}""") == 20
+
+    def test_local_array_initializer(self, c_run):
+        assert c_run("""
+int main(void) {
+    int arr[4] = {1, 2, 3, 4};
+    return arr[0] + arr[3];
+}""") == 5
+
+    def test_char_array(self, c_run):
+        assert c_run("""
+int main(void) {
+    char buf[8];
+    buf[0] = 'h';
+    buf[1] = 'i';
+    return buf[0] + buf[1];
+}""") == ord("h") + ord("i")
+
+    def test_array_decays_to_pointer_argument(self, c_run):
+        assert c_run("""
+int sum(int *values, int count) {
+    int total = 0;
+    for (int i = 0; i < count; i++) total += values[i];
+    return total;
+}
+int data[6] = {1, 2, 3, 4, 5, 6};
+int main(void) { return sum(data, 6); }""") == 21
+
+    def test_index_is_commutative(self, c_run):
+        assert c_run("""
+int arr[3] = {7, 8, 9};
+int main(void) { return 1[arr]; }""") == 8
+
+    def test_string_literal_global(self, c_run):
+        assert c_run("""
+char *message = 0;
+int length(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+int main(void) {
+    return length("liquid");
+}""") == 6
+
+    def test_local_string_array_copy(self, c_run):
+        assert c_run("""
+int main(void) {
+    char buf[6] = "ab";
+    return buf[0] + buf[1] + buf[2];
+}""") == ord("a") + ord("b")
+
+    def test_bubble_sort(self, c_run):
+        assert c_run("""
+int data[6] = {5, 2, 6, 1, 4, 3};
+int main(void) {
+    for (int i = 0; i < 6; i++)
+        for (int j = 0; j + 1 < 6 - i; j++)
+            if (data[j] > data[j + 1]) {
+                int tmp = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = tmp;
+            }
+    /* verify sorted and encode first/last */
+    for (int i = 0; i + 1 < 6; i++)
+        if (data[i] > data[i + 1]) return -1;
+    return data[0] * 10 + data[5];
+}""") == 16

@@ -1,0 +1,216 @@
+"""Control-software tests: client over direct and lossy transports,
+listener console, servlet, hardware emulator."""
+
+import pytest
+
+from repro.control import (
+    ControlServlet,
+    DeviceError,
+    DirectTransport,
+    HardwareEmulator,
+    LiquidClient,
+    LossyTransport,
+    ResponseListener,
+)
+from repro.fpx import FPXPlatform
+from repro.mem.memmap import DEFAULT_MAP
+from repro.net.channel import ChannelConfig
+from repro.net.protocol import LeonState
+from repro.toolchain import assemble, link
+from repro.toolchain.linker import MemoryMapScript
+
+
+def make_image(value=99):
+    return link([assemble(f"""
+    .global _start
+_start:
+    set {value}, %o0
+    set {DEFAULT_MAP.result_addr}, %g1
+    st %o0, [%g1]
+    ta 0
+    nop
+""")], MemoryMapScript.default(DEFAULT_MAP.program_base))
+
+
+class TestClientDirect:
+    def test_status(self, client):
+        status = client.status()
+        assert status.state == LeonState.POLLING
+
+    def test_run_image_full_flow(self, client):
+        result = client.run_image(make_image(77),
+                                  result_addr=DEFAULT_MAP.result_addr)
+        assert result.result_word == 77
+        assert result.cycles > 0
+
+    def test_read_memory_arbitrary_range(self, client):
+        client.run_image(make_image(0x11223344))
+        data = client.read_memory(DEFAULT_MAP.result_addr, 4)
+        assert data == b"\x11\x22\x33\x44"
+
+    def test_read_word_helper(self, client):
+        client.run_image(make_image(1234))
+        assert client.read_word(DEFAULT_MAP.result_addr) == 1234
+
+    def test_restart(self, client, platform):
+        client.restart()
+        assert platform.leon_ctrl.state in (LeonState.RESET,
+                                            LeonState.POLLING)
+
+    def test_rerun_same_program(self, client):
+        image = make_image(5)
+        first = client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+        second = client.run_image(image, result_addr=DEFAULT_MAP.result_addr)
+        assert first.result_word == second.result_word == 5
+
+    def test_listener_records_console(self, client):
+        client.status()
+        lines = client.listener.console_lines()
+        assert any("LEON status" in line for line in lines)
+
+    def test_start_without_load_reports_device_error(self, platform):
+        transport = DirectTransport(platform, platform.config.device_ip,
+                                    platform.config.control_port)
+        fresh = LiquidClient(transport)
+        with pytest.raises(DeviceError):
+            fresh.start()
+
+
+class TestClientLossy:
+    def _client(self, platform, **channel):
+        transport = LossyTransport(platform, platform.config.device_ip,
+                                   platform.config.control_port,
+                                   channel_config=ChannelConfig(**channel),
+                                   seed=123)
+        return LiquidClient(transport), transport
+
+    def test_status_over_lossy_channel(self, platform):
+        client, _ = self._client(platform, loss=0.3)
+        assert client.status().state == LeonState.POLLING
+
+    def test_program_load_survives_loss_and_reorder(self, platform):
+        client, transport = self._client(platform, loss=0.25, reorder=0.25,
+                                         duplicate=0.1)
+        result = client.run_image(make_image(42),
+                                  result_addr=DEFAULT_MAP.result_addr)
+        assert result.result_word == 42
+        stats = transport.channel_stats()
+        assert stats["to_device"]["dropped"] > 0 or \
+            stats["to_device"]["reordered"] > 0
+
+    def test_corruption_rejected_by_checksums(self, platform):
+        client, transport = self._client(platform, corrupt=0.3)
+        result = client.run_image(make_image(9),
+                                  result_addr=DEFAULT_MAP.result_addr)
+        assert result.result_word == 9
+        # Some frames must have been corrupted on the wire and discarded.
+        assert transport.to_device.corrupted + transport.to_client.corrupted \
+            > 0
+
+
+class TestServlet:
+    @pytest.fixture
+    def servlet(self, client):
+        return ControlServlet(client)
+
+    def test_status_action(self, servlet):
+        page = servlet.handle_request({"action": "status"})
+        assert page.startswith("200")
+        assert "POLLING" in page
+
+    def test_load_start_read_flow(self, servlet):
+        base, blob = make_image(64).flatten()
+        page = servlet.handle_request({
+            "action": "load", "address": hex(base), "hex": blob.hex()})
+        assert page.startswith("200")
+        assert servlet.handle_request({"action": "start"}).startswith("200")
+        page = servlet.handle_request({
+            "action": "read", "address": hex(DEFAULT_MAP.result_addr)})
+        assert page.endswith("00000040")  # 64
+
+    def test_unknown_action(self, servlet):
+        assert servlet.handle_request({"action": "nuke"}).startswith("400")
+
+    def test_bad_request_reported(self, servlet):
+        page = servlet.handle_request({"action": "load", "hex": "zz"})
+        assert page.startswith("400")
+
+    def test_console_action(self, servlet):
+        servlet.handle_request({"action": "status"})
+        page = servlet.handle_request({"action": "console"})
+        assert "LEON status" in page
+
+    def test_restart_action(self, servlet):
+        assert servlet.handle_request({"action": "restart"}).startswith("200")
+
+
+class TestHardwareEmulator:
+    """The paper's Java HW emulator: protocol-compatible with the
+    platform, used to debug the control software without hardware."""
+
+    @pytest.fixture
+    def emulated_client(self):
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        transport = DirectTransport(emulator, "128.252.153.2", 2000)
+        return LiquidClient(transport), emulator
+
+    def test_status(self, emulated_client):
+        client, _ = emulated_client
+        assert client.status().state == LeonState.POLLING
+
+    def test_load_and_read_back(self, emulated_client):
+        client, _ = emulated_client
+        client.load_binary(0x4000_1000, b"\xca\xfe\xba\xbe")
+        assert client.read_memory(0x4000_1000, 4) == b"\xca\xfe\xba\xbe"
+
+    def test_start_completes_instantly_with_fake_cycles(self, emulated_client):
+        client, emulator = emulated_client
+        client.load_binary(0x4000_1000, b"\x00" * 8)
+        client.start()
+        status = client.status()
+        assert status.state == LeonState.DONE
+        assert status.cycles == emulator.fake_cycles
+
+    def test_emulator_matches_platform_protocol(self, emulated_client):
+        """Every payload the client sends must be understood by both the
+        emulator and the real platform — the property that made the
+        paper's emulator useful."""
+        client, _ = emulated_client
+        client.restart()
+        client.load_binary(0x4000_1000, bytes(range(100)))
+        client.start()
+        client.read_memory(0x4000_1000, 16)
+        # No exceptions: all five command types handled.
+
+    def test_out_of_range_read_is_error(self, emulated_client):
+        client, _ = emulated_client
+        with pytest.raises(DeviceError):
+            client.read_memory(0x0000_1000, 4)
+
+
+class TestListener:
+    def test_records_and_filters(self):
+        from repro.net.protocol import LoadAck, StatusResponse
+        listener = ResponseListener()
+        listener.record(StatusResponse(LeonState.DONE, 5))
+        listener.record(LoadAck(1, 2))
+        assert len(listener) == 2
+        assert len(listener.of_type(LoadAck)) == 1
+
+    def test_console_formats_known_types(self):
+        from repro.net.protocol import (
+            ErrorResponse,
+            MemoryData,
+            Started,
+            StatusResponse,
+        )
+        listener = ResponseListener()
+        listener.record(StatusResponse(LeonState.RUNNING, 10))
+        listener.record(Started(0x4000_1000))
+        listener.record(MemoryData(0x4000_0008, b"\x00\x00\x00\x2a"))
+        listener.record(ErrorResponse(9, "boom"))
+        lines = listener.console_lines()
+        assert "RUNNING" in lines[0]
+        assert "0x40001000" in lines[1]
+        assert "0000002a" in lines[2]
+        assert "boom" in lines[3]

@@ -1,0 +1,179 @@
+"""Trace analyzer, architecture generator and reconfiguration server —
+the full Figure 1 loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import MemoryTrace
+from repro.core import (
+    ArchitectureConfig,
+    ConfigurationSpace,
+    Job,
+    ReconfigurationServer,
+    TraceAnalyzer,
+)
+from repro.core.generator import ArchitectureGenerator
+from repro.mem.memmap import DEFAULT_MAP
+from repro.toolchain.driver import compile_c_program
+
+# The paper's Figure 7 kernel, small enough for quick tests.
+FIG7_KERNEL = r"""
+unsigned count[1024];
+
+int main(void) {
+    unsigned i;
+    unsigned address;
+    volatile unsigned x;
+    for (i = 0; i < 20000; i = i + 32) {
+        address = i % 1024;
+        x = count[address];
+    }
+    return 0;
+}
+"""
+
+
+def strided_trace(span=4096, stride=128, passes=4) -> MemoryTrace:
+    addresses = []
+    for _ in range(passes):
+        addresses.extend(range(0x4000_2000, 0x4000_2000 + span, stride))
+    n = len(addresses)
+    return MemoryTrace(np.asarray(addresses, dtype=np.uint64),
+                       np.full(n, 4, np.uint8),
+                       np.zeros(n, bool), np.ones(n, bool))
+
+
+class TestTraceAnalyzer:
+    def test_recommends_smallest_adequate_cache(self):
+        analyzer = TraceAnalyzer(candidate_sizes=[1024, 2048, 4096, 8192])
+        report = analyzer.analyze(strided_trace())
+        assert report.recommended_dcache_size() == 4096
+
+    def test_detects_dominant_stride_for_prefetch(self):
+        analyzer = TraceAnalyzer()
+        report = analyzer.analyze(strided_trace(passes=1, span=8192))
+        prefetch = [r for r in report.recommendations
+                    if r.dimension == "prefetch"]
+        assert prefetch and prefetch[0].value == 128
+
+    def test_write_heavy_trace_flags_rmw_penalty(self):
+        addresses = np.arange(0, 4000, 4, dtype=np.uint64)
+        trace = MemoryTrace(addresses, np.full(len(addresses), 4, np.uint8),
+                            np.ones(len(addresses), bool),
+                            np.zeros(len(addresses), bool))
+        report = TraceAnalyzer().analyze(trace)
+        assert any(r.dimension == "write_path"
+                   for r in report.recommendations)
+
+    def test_no_candidate_meets_target_falls_back(self):
+        # Working set 64 KB with only tiny candidates: both thrash
+        # equally, so the fallback recommends the *cheapest* equal point.
+        analyzer = TraceAnalyzer(candidate_sizes=[512, 1024])
+        report = analyzer.analyze(strided_trace(span=65536, stride=32,
+                                                passes=2))
+        assert report.recommended_dcache_size() == 512
+        reason = [r for r in report.recommendations
+                  if r.dimension == "dcache_size"][0].reason
+        assert "no candidate met the target" in reason
+
+    def test_pick_config_applies_recommendation(self):
+        analyzer = TraceAnalyzer(candidate_sizes=[1024, 4096])
+        report = analyzer.analyze(strided_trace())
+        config = analyzer.pick_config(ArchitectureConfig(), report)
+        assert config.dcache.size == 4096
+
+    def test_summary_lines_render(self):
+        report = TraceAnalyzer().analyze(strided_trace())
+        text = "\n".join(report.summary_lines())
+        assert "working set" in text
+        assert "recommend dcache_size" in text
+
+
+class TestReconfigurationServer:
+    def test_configure_charges_synthesis_then_switches_free(self):
+        server = ReconfigurationServer()
+        synth1, prog1, hit1 = server.configure(ArchitectureConfig())
+        assert synth1 > 0 and not hit1
+        # Same config again: no-op.
+        synth2, prog2, hit2 = server.configure(ArchitectureConfig())
+        assert synth2 == prog2 == 0.0 and hit2
+        # New config: synthesis again.
+        synth3, _, hit3 = server.configure(
+            ArchitectureConfig().with_dcache_size(8192))
+        assert synth3 > 0 and not hit3
+        # Back to the first: cached bitfile, only programming time.
+        synth4, prog4, hit4 = server.configure(ArchitectureConfig())
+        assert synth4 == 0.0 and prog4 > 0 and hit4
+
+    def test_run_job_returns_cycles_and_result(self):
+        server = ReconfigurationServer()
+        image = compile_c_program("int main(void) { return 11 * 3; }")
+        result = server.run_job(Job(image=image,
+                                    config=ArchitectureConfig(),
+                                    name="smoke"))
+        assert result.result_word == 33
+        assert result.cycles > 0
+        assert result.seconds_execution > 0
+        assert result.state.name == "DONE"
+
+    def test_queue_processing(self):
+        server = ReconfigurationServer()
+        image = compile_c_program("int main(void) { return 1; }")
+        for index in range(3):
+            server.submit(Job(image=image, config=ArchitectureConfig(),
+                              name=f"job{index}"))
+        results = server.run_queue()
+        assert [r.name for r in results] == ["job0", "job1", "job2"]
+        # One synthesis, then cached.
+        assert results[0].seconds_synthesis > 0
+        assert results[1].seconds_synthesis == 0.0
+
+    def test_ledger_accounts_model_time(self):
+        server = ReconfigurationServer()
+        image = compile_c_program("int main(void) { return 0; }")
+        server.run_job(Job(image=image, config=ArchitectureConfig()))
+        ledger = server.ledger()
+        assert ledger["model_seconds"] > 3000  # synthesis dominates
+        assert ledger["cache"]["misses"] == 1
+
+
+class TestArchitectureGenerator:
+    @pytest.fixture(scope="class")
+    def sweep_result(self):
+        generator = ArchitectureGenerator()
+        image = compile_c_program(FIG7_KERNEL)
+        space = ConfigurationSpace.paper_cache_sweep()
+        return generator.sweep(image, space, max_instructions=2_000_000)
+
+    def test_sweep_measures_every_point(self, sweep_result):
+        assert sweep_result.configs_measured == 5
+        assert len(sweep_result.measurements) == 5
+
+    def test_paper_shape_flat_then_knee(self, sweep_result):
+        """Figure 8/9: flat high at 1-2 KB, flat minimum from 4 KB on."""
+        cycles = {m.config.dcache.size: m.cycles
+                  for m in sweep_result.measurements}
+        assert cycles[1024] == cycles[2048]
+        assert cycles[4096] < cycles[1024]
+        assert cycles[4096] == cycles[8192] == cycles[16384]
+
+    def test_best_by_cycles_is_at_or_past_knee(self, sweep_result):
+        assert sweep_result.best_by_cycles().config.dcache.size >= 4096
+
+    def test_best_by_seconds_penalizes_slow_clocks(self, sweep_result):
+        """Bigger caches clock slower, so the best *time* is the knee
+        itself (4 KB), not the largest cache — the liquid-architecture
+        insight that more is not better."""
+        assert sweep_result.best.config.dcache.size == 4096
+
+    def test_trace_guided_finds_knee_with_fewer_syntheses(self):
+        generator = ArchitectureGenerator()
+        image = compile_c_program(FIG7_KERNEL)
+        space = ConfigurationSpace.paper_cache_sweep()
+        result = generator.trace_guided(image, space, shortlist=2,
+                                        max_instructions=2_000_000)
+        assert result.configs_considered == 5
+        assert result.configs_measured <= 3
+        assert result.trace_report is not None
+        best = result.best_by_cycles()
+        assert best.config.dcache.size >= 4096

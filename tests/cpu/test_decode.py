@@ -1,0 +1,93 @@
+"""Decoder unit tests + decode-cache behaviour."""
+
+import pytest
+
+from repro.cpu.decode import DecodeCache, decode
+from repro.cpu.isa import OP2_BICC, OP2_SETHI, Cond, Op3, Op3Mem
+from repro.toolchain.asm import encoder
+
+
+class TestFieldExtraction:
+    def test_call_fields(self):
+        word = encoder.call(0x100)
+        inst = decode(word)
+        assert inst.op == 1
+        assert inst.disp30 == 0x100
+
+    def test_call_negative_displacement(self):
+        inst = decode(encoder.call(-4))
+        assert inst.disp30 == -4
+
+    def test_sethi_fields(self):
+        inst = decode(encoder.sethi(5, 0x12345))
+        assert inst.op == 0
+        assert inst.op2 == OP2_SETHI
+        assert inst.rd == 5
+        assert inst.imm22 == 0x12345
+
+    def test_branch_fields(self):
+        inst = decode(encoder.branch(int(Cond.NE), -16, annul=True))
+        assert inst.op2 == OP2_BICC
+        assert inst.cond == Cond.NE
+        assert inst.annul
+        assert inst.disp22 == -16
+
+    def test_arith_register_form(self):
+        inst = decode(encoder.arith_reg(Op3.ADD, 2, 3, 4))
+        assert inst.op == 2
+        assert inst.op3 == Op3.ADD
+        assert (inst.rd, inst.rs1, inst.rs2) == (2, 3, 4)
+        assert not inst.imm
+
+    def test_arith_immediate_form(self):
+        inst = decode(encoder.arith_imm(Op3.SUB, 1, 2, -42))
+        assert inst.imm
+        assert inst.simm13 == -42
+
+    def test_simm13_sign_extension_boundaries(self):
+        assert decode(encoder.arith_imm(Op3.ADD, 1, 1, 4095)).simm13 == 4095
+        assert decode(encoder.arith_imm(Op3.ADD, 1, 1, -4096)).simm13 == -4096
+
+    def test_memory_asi_field(self):
+        inst = decode(encoder.mem_reg(Op3Mem.LDA, 1, 2, 3, asi=0x0B))
+        assert inst.asi == 0x0B
+
+    def test_cpop1_opf(self):
+        inst = decode(encoder.cpop1(4, 0x42, 1, 2))
+        assert inst.op3 == Op3.CPOP1
+        assert inst.opf == 0x42
+
+    def test_nop_is_sethi_zero(self):
+        inst = decode(encoder.nop())
+        assert inst.op2 == OP2_SETHI
+        assert inst.rd == 0
+        assert inst.imm22 == 0
+
+    def test_decoded_is_hashable_and_frozen(self):
+        inst = decode(encoder.nop())
+        hash(inst)
+        with pytest.raises(AttributeError):
+            inst.rd = 5
+
+
+class TestDecodeCache:
+    def test_hit_returns_same_object(self):
+        cache = DecodeCache()
+        first = cache.lookup(encoder.nop())
+        second = cache.lookup(encoder.nop())
+        assert first is second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_capacity_bound(self):
+        cache = DecodeCache(capacity=4)
+        for value in range(10):
+            cache.lookup(encoder.arith_imm(Op3.ADD, 1, 1, value))
+        assert len(cache._cache) <= 4
+
+    def test_clear(self):
+        cache = DecodeCache()
+        cache.lookup(encoder.nop())
+        cache.clear()
+        cache.lookup(encoder.nop())
+        assert cache.misses == 2

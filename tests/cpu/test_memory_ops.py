@@ -1,0 +1,253 @@
+"""Loads, stores, atomics, alignment traps, bus errors."""
+
+import pytest
+
+from repro.cpu import traps
+from repro.cpu.isa import Trap
+from repro.utils import u32
+
+from tests.conftest import RAM_BASE, make_iu, run_source
+
+from .test_execute import regval
+
+DATA = RAM_BASE + 0x8000
+
+
+class TestLoadsStores:
+    def test_word_roundtrip(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    set 0x12345678, %o2
+    st %o2, [%o1]
+    ld [%o1], %o0
+""") == 0x12345678
+
+    def test_word_offset_addressing(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    mov 11, %o2
+    st %o2, [%o1 + 8]
+    ld [%o1 + 8], %o0
+""") == 11
+
+    def test_negative_offset(self):
+        assert regval(f"""
+    set {DATA + 16}, %o1
+    mov 5, %o2
+    st %o2, [%o1 - 8]
+    ld [%o1 - 8], %o0
+""") == 5
+
+    def test_register_plus_register_addressing(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    mov 12, %o2
+    mov 33, %o3
+    st %o3, [%o1 + %o2]
+    ld [%o1 + %o2], %o0
+""") == 33
+
+    def test_bytes_are_big_endian(self):
+        iu, mem, _ = run_source(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+    set 0x11223344, %o2
+    st %o2, [%o1]
+done:
+    ba done
+    nop
+""")
+        assert mem.dump(DATA, 4) == bytes([0x11, 0x22, 0x33, 0x44])
+
+    def test_ldub_zero_extends(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    set 0xff, %o2
+    stb %o2, [%o1]
+    ldub [%o1], %o0
+""") == 0xFF
+
+    def test_ldsb_sign_extends(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    set 0x80, %o2
+    stb %o2, [%o1]
+    ldsb [%o1], %o0
+""") == u32(-128)
+
+    def test_lduh_ldsh(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    set 0x8001, %o2
+    sth %o2, [%o1]
+    lduh [%o1], %o0
+""") == 0x8001
+        assert regval(f"""
+    set {DATA}, %o1
+    set 0x8001, %o2
+    sth %o2, [%o1]
+    ldsh [%o1], %o0
+""") == u32(-0x7FFF)
+
+    def test_stb_touches_single_byte(self):
+        iu, mem, _ = run_source(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+    set 0xAABBCCDD, %o2
+    st %o2, [%o1]
+    mov 0x11, %o3
+    stb %o3, [%o1 + 2]
+done:
+    ba done
+    nop
+""")
+        assert mem.read_word(DATA) == 0xAABB11DD
+
+    def test_ldd_std_pair(self):
+        iu, _, _ = run_source(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+    set 0x01020304, %o2
+    set 0x05060708, %o3
+    std %o2, [%o1]
+    ldd [%o1], %o4
+done:
+    ba done
+    nop
+""")
+        assert iu.regs.read(12) == 0x01020304  # %o4
+        assert iu.regs.read(13) == 0x05060708  # %o5
+
+    def test_ldd_odd_rd_is_illegal(self):
+        iu, _ = make_iu(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o0
+    ldd [%o0], %o1
+""")
+        with pytest.raises(traps.ErrorMode) as err:
+            iu.run(max_instructions=10)
+        assert err.value.tt == Trap.ILLEGAL_INSTRUCTION
+
+
+class TestAtomics:
+    def test_ldstub_reads_then_sets_ff(self):
+        iu, mem, _ = run_source(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+    mov 0x5A, %o2
+    stb %o2, [%o1]
+    ldstub [%o1], %o0
+done:
+    ba done
+    nop
+""")
+        assert iu.regs.read(8) == 0x5A
+        assert mem.dump(DATA, 1) == b"\xff"
+
+    def test_swap_exchanges(self):
+        iu, mem, _ = run_source(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+    mov 111, %o2
+    st %o2, [%o1]
+    mov 222, %o0
+    swap [%o1], %o0
+done:
+    ba done
+    nop
+""")
+        assert iu.regs.read(8) == 111
+        assert mem.read_word(DATA) == 222
+
+    def test_ldstub_spinlock_idiom(self):
+        """Second ldstub sees the lock taken."""
+        assert regval(f"""
+    set {DATA}, %o1
+    ldstub [%o1], %o2     ! acquire: reads 0
+    ldstub [%o1], %o0     ! second acquire: reads 0xff
+""") == 0xFF
+
+
+class TestAlignmentAndFaults:
+    @pytest.mark.parametrize("insn,offset", [
+        ("ld", 1), ("ld", 2), ("ld", 3),
+        ("lduh", 1), ("st", 2), ("sth", 1), ("ldd", 4), ("swap", 2),
+    ])
+    def test_misaligned_access_traps(self, insn, offset):
+        operand = f"[%o1 + {offset}]"
+        if insn in ("st", "sth"):
+            body = f"    {insn} %o2, {operand}"
+        else:
+            body = f"    {insn} {operand}, %o2"
+        iu, _ = make_iu(f"""
+    .text
+    .global _start
+_start:
+    set {DATA}, %o1
+{body}
+""")
+        with pytest.raises(traps.ErrorMode) as err:
+            iu.run(max_instructions=10)
+        assert err.value.tt == Trap.MEM_ADDRESS_NOT_ALIGNED
+
+    def test_unmapped_address_data_access_trap(self):
+        iu, _ = make_iu("""
+    .text
+    .global _start
+_start:
+    set 0x90000000, %o1
+    ld [%o1], %o0
+""")
+        with pytest.raises(traps.ErrorMode) as err:
+            iu.run(max_instructions=10)
+        assert err.value.tt == Trap.DATA_ACCESS
+
+    def test_byte_access_never_misaligned(self):
+        assert regval(f"""
+    set {DATA}, %o1
+    mov 7, %o2
+    stb %o2, [%o1 + 3]
+    ldub [%o1 + 3], %o0
+""") == 7
+
+
+class TestDataSection:
+    def test_load_from_linked_data(self):
+        assert regval("""
+    set table, %o1
+    ld [%o1 + 4], %o0
+    ba done
+    nop
+    .data
+table:
+    .word 10, 20, 30
+""") == 20
+
+    def test_string_data(self):
+        iu, mem, syms = run_source("""
+    .text
+    .global _start
+_start:
+    set message, %o1
+    ldub [%o1], %o0
+done:
+    ba done
+    nop
+    .data
+message:
+    .asciz "Hi"
+""")
+        assert iu.regs.read(8) == ord("H")
+        assert mem.dump(syms["message"], 3) == b"Hi\x00"

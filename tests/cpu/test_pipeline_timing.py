@@ -1,0 +1,167 @@
+"""Cycle-accounting tests for the LEON2 pipeline timing model."""
+
+import pytest
+
+from repro.cpu.decode import decode
+from repro.cpu.isa import Cond, Op3, Op3Mem
+from repro.cpu.pipeline import PipelineModel, TimingConfig
+from repro.toolchain.asm import encoder
+
+from tests.conftest import build, make_iu
+
+
+def cycles_for(source_body: str) -> int:
+    """Cycles consumed from _start to `done` on zero-wait flat memory."""
+    source = f"""
+    .text
+    .global _start
+_start:
+{source_body}
+done:
+    ba done
+    nop
+"""
+    image = build(source)
+    iu, _ = make_iu(source)
+    return iu.run(max_instructions=10_000, until_pc=image.symbols["done"])
+
+
+class TestIssueCosts:
+    def test_alu_op_is_one_cycle(self):
+        model = PipelineModel()
+        assert model.issue_cycles(decode(encoder.arith_reg(Op3.ADD, 1, 2, 3))) == 1
+
+    def test_load_is_two_cycles(self):
+        model = PipelineModel()
+        assert model.issue_cycles(decode(encoder.ld_imm(1, 2, 0))) == 2
+
+    def test_store_is_three_cycles(self):
+        model = PipelineModel()
+        assert model.issue_cycles(decode(encoder.st_imm(1, 2, 0))) == 3
+
+    def test_ldd_three_std_four(self):
+        model = PipelineModel()
+        assert model.issue_cycles(decode(encoder.mem_imm(Op3Mem.LDD, 2, 1, 0))) == 3
+        assert model.issue_cycles(decode(encoder.mem_imm(Op3Mem.STD, 2, 1, 0))) == 4
+
+    def test_jmpl_two_cycles(self):
+        model = PipelineModel()
+        assert model.issue_cycles(decode(encoder.jmpl_imm(0, 15, 8))) == 2
+
+    def test_mul_cost_configurable(self):
+        iterative = PipelineModel(TimingConfig(mul_cycles=35))
+        fast = PipelineModel(TimingConfig(mul_cycles=2))
+        word = decode(encoder.arith_reg(Op3.UMUL, 1, 2, 3))
+        assert iterative.issue_cycles(word) == 35
+        assert fast.issue_cycles(word) == 2
+
+    def test_div_cost(self):
+        model = PipelineModel()
+        assert model.issue_cycles(
+            decode(encoder.arith_reg(Op3.UDIV, 1, 2, 3))) == 35
+
+    def test_wrpsr_two_cycles(self):
+        model = PipelineModel()
+        assert model.issue_cycles(
+            decode(encoder.arith_imm(Op3.WRPSR, 0, 0, 0xE0))) == 2
+
+    def test_custom_op_cost(self):
+        model = PipelineModel(TimingConfig(custom_op_cycles=3))
+        assert model.issue_cycles(decode(encoder.cpop1(1, 5, 2, 3))) == 3
+
+
+class TestLoadUseInterlock:
+    def test_dependent_use_adds_bubble(self):
+        model = PipelineModel()
+        model.issue_cycles(decode(encoder.ld_imm(9, 8, 0)))   # ld -> %o1
+        # add %o1, 1, %o2 immediately uses the load result.
+        cost = model.issue_cycles(decode(encoder.arith_imm(Op3.ADD, 10, 9, 1)))
+        assert cost == 2  # 1 + interlock
+
+    def test_independent_instruction_no_bubble(self):
+        model = PipelineModel()
+        model.issue_cycles(decode(encoder.ld_imm(9, 8, 0)))
+        cost = model.issue_cycles(decode(encoder.arith_imm(Op3.ADD, 12, 11, 1)))
+        assert cost == 1
+
+    def test_interlock_only_immediately_after(self):
+        model = PipelineModel()
+        model.issue_cycles(decode(encoder.ld_imm(9, 8, 0)))
+        model.issue_cycles(decode(encoder.nop()))
+        cost = model.issue_cycles(decode(encoder.arith_imm(Op3.ADD, 10, 9, 1)))
+        assert cost == 1
+
+    def test_store_data_dependency_counts(self):
+        model = PipelineModel()
+        model.issue_cycles(decode(encoder.ld_imm(9, 8, 0)))
+        cost = model.issue_cycles(decode(encoder.st_imm(9, 10, 0)))
+        assert cost == 4  # 3 + interlock
+
+    def test_interlock_can_be_disabled(self):
+        model = PipelineModel(TimingConfig(load_use_interlock=False))
+        model.issue_cycles(decode(encoder.ld_imm(9, 8, 0)))
+        cost = model.issue_cycles(decode(encoder.arith_imm(Op3.ADD, 10, 9, 1)))
+        assert cost == 1
+
+    def test_g0_load_never_interlocks(self):
+        model = PipelineModel()
+        model.issue_cycles(decode(encoder.ld_imm(0, 8, 0)))  # ld -> %g0
+        cost = model.issue_cycles(decode(encoder.arith_reg(Op3.ADD, 1, 0, 0)))
+        assert cost == 1
+
+
+class TestEndToEndCycleCounts:
+    def test_straightline_alu_sequence(self):
+        # 4 ALU ops at 1 cycle each.
+        assert cycles_for("""
+    mov 1, %o0
+    add %o0, 1, %o0
+    add %o0, 1, %o0
+    add %o0, 1, %o0
+""") == 4
+
+    def test_annulled_slot_costs_one_cycle(self):
+        taken = cycles_for("""
+    ba,a over
+    nop
+over:
+    nop
+""")
+        # ba(1) + annulled slot(1) + nop(1)
+        assert taken == 3
+
+    def test_loop_cycle_count_deterministic(self):
+        first = cycles_for("""
+    mov 10, %o1
+loop:
+    deccc %o1
+    bne loop
+    nop
+""")
+        second = cycles_for("""
+    mov 10, %o1
+loop:
+    deccc %o1
+    bne loop
+    nop
+""")
+        assert first == second
+        # mov + 10 * (deccc + bne + nop)
+        assert first == 1 + 10 * 3
+
+    def test_cycles_accumulate_on_iu(self):
+        source = """
+    .text
+    .global _start
+_start:
+    mov 1, %o0
+done:
+    ba done
+    nop
+"""
+        image = build(source)
+        iu, _ = make_iu(source)
+        consumed = iu.run(max_instructions=100,
+                          until_pc=image.symbols["done"])
+        assert iu.cycles == consumed
+        assert iu.instret == 1

@@ -1,0 +1,176 @@
+"""Unit tests for the windowed register file and control registers."""
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.registers import ControlRegisters, RegisterFile, RegisterWindowError
+
+
+class TestRegisterFile:
+    def test_g0_reads_zero(self):
+        regs = RegisterFile()
+        assert regs.read(0) == 0
+
+    def test_g0_writes_discarded(self):
+        regs = RegisterFile()
+        regs.write(0, 0xDEADBEEF)
+        assert regs.read(0) == 0
+
+    def test_globals_roundtrip(self):
+        regs = RegisterFile()
+        for reg in range(1, 8):
+            regs.write(reg, reg * 0x1111)
+        for reg in range(1, 8):
+            assert regs.read(reg) == reg * 0x1111
+
+    def test_globals_shared_across_windows(self):
+        regs = RegisterFile()
+        regs.write(1, 42)
+        regs.cwp = 3
+        assert regs.read(1) == 42
+
+    def test_values_masked_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(8, 0x1_2345_6789)
+        assert regs.read(8) == 0x2345_6789
+
+    def test_locals_are_private_per_window(self):
+        regs = RegisterFile()
+        regs.write(16, 0xAAAA)       # %l0 of window 0
+        regs.cwp = 7                 # as after one SAVE
+        regs.write(16, 0xBBBB)
+        assert regs.read(16) == 0xBBBB
+        regs.cwp = 0
+        assert regs.read(16) == 0xAAAA
+
+    def test_outs_alias_next_window_ins(self):
+        """SAVE semantics: caller's outs become callee's ins."""
+        regs = RegisterFile(nwindows=8)
+        regs.cwp = 5
+        regs.write(8, 0x1234)        # %o0 at window 5
+        regs.cwp = 4                 # SAVE decrements CWP
+        assert regs.read(24) == 0x1234  # %i0 at window 4
+
+    def test_ins_alias_previous_window_outs(self):
+        regs = RegisterFile(nwindows=8)
+        regs.cwp = 2
+        regs.write(30, 0xFEE1)       # %i6 (%fp)
+        regs.cwp = 3
+        assert regs.read(14) == 0xFEE1  # %o6 (%sp) of the caller window
+
+    def test_window_wraparound(self):
+        """The file is circular: window 0's ins alias window 1's outs."""
+        regs = RegisterFile(nwindows=8)
+        regs.cwp = 0
+        regs.write(27, 77)           # %i3 of window 0
+        regs.cwp = 1
+        assert regs.read(11) == 77   # %o3 of window 1
+
+    def test_full_rotation_preserves_values(self):
+        regs = RegisterFile(nwindows=8)
+        for window in range(8):
+            regs.cwp = window
+            regs.write(20, window + 100)  # %l4
+        for window in range(8):
+            regs.cwp = window
+            assert regs.read(20) == window + 100
+
+    def test_read_window_does_not_disturb_cwp(self):
+        regs = RegisterFile()
+        regs.cwp = 2
+        regs.write_window(5, 17, 99)
+        assert regs.cwp == 2
+        assert regs.read_window(5, 17) == 99
+        assert regs.cwp == 2
+
+    def test_out_of_range_register_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(RegisterWindowError):
+            regs.read(32)
+        with pytest.raises(RegisterWindowError):
+            regs.write(40, 1)
+
+    def test_bad_window_count_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(nwindows=1)
+        with pytest.raises(ValueError):
+            RegisterFile(nwindows=33)
+
+    def test_snapshot_names(self):
+        regs = RegisterFile()
+        regs.write(9, 123)
+        snap = regs.snapshot()
+        assert snap["o1"] == 123
+        assert len(snap) == 32
+
+    @pytest.mark.parametrize("nwindows", [2, 4, 8, 16, 32])
+    def test_configurable_window_counts(self, nwindows):
+        regs = RegisterFile(nwindows=nwindows)
+        regs.cwp = nwindows - 1
+        regs.write(8, 0x55)
+        regs.cwp = (nwindows - 2) % nwindows
+        assert regs.read(24) == 0x55
+
+
+class TestControlRegisters:
+    def test_reset_state_is_supervisor(self):
+        ctrl = ControlRegisters()
+        assert ctrl.s
+        assert not ctrl.et
+
+    def test_impl_ver_fields_read_only(self):
+        ctrl = ControlRegisters()
+        ctrl.write_psr(0)
+        assert (ctrl.psr >> isa.PSR_IMPL_SHIFT) & 0xF == isa.LEON_IMPL
+        assert (ctrl.psr >> isa.PSR_VER_SHIFT) & 0xF == isa.LEON_VER
+
+    def test_cwp_wraps_modulo_nwindows(self):
+        ctrl = ControlRegisters(nwindows=8)
+        ctrl.cwp = 9
+        assert ctrl.cwp == 1
+
+    def test_icc_set_and_read(self):
+        ctrl = ControlRegisters()
+        ctrl.set_icc(1, 0, 1, 0)
+        assert ctrl.icc == (1, 0, 1, 0)
+        ctrl.set_icc(0, 1, 0, 1)
+        assert ctrl.icc == (0, 1, 0, 1)
+
+    def test_pil_field(self):
+        ctrl = ControlRegisters()
+        ctrl.pil = 0xA
+        assert ctrl.pil == 0xA
+        assert ctrl.s  # untouched
+
+    def test_et_toggle(self):
+        ctrl = ControlRegisters()
+        ctrl.et = True
+        assert ctrl.et
+        ctrl.et = False
+        assert not ctrl.et
+
+    def test_ps_tracks_previous_supervisor(self):
+        ctrl = ControlRegisters()
+        ctrl.ps = True
+        assert ctrl.ps
+        ctrl.ps = False
+        assert not ctrl.ps
+
+    def test_tbr_tba_and_tt_fields(self):
+        ctrl = ControlRegisters()
+        ctrl.tba = 0x4000_0000
+        ctrl.tt = 0x2A
+        assert ctrl.tba == 0x4000_0000
+        assert ctrl.tt == 0x2A
+        assert ctrl.tbr == 0x4000_02A0
+
+    def test_tba_ignores_low_bits(self):
+        ctrl = ControlRegisters()
+        ctrl.tba = 0x1234_5FFF
+        assert ctrl.tba == 0x1234_5000
+
+    def test_write_psr_sets_fields(self):
+        ctrl = ControlRegisters()
+        ctrl.write_psr(0xE3)  # S|PS|ET, CWP=3
+        assert ctrl.s and ctrl.ps and ctrl.et
+        assert ctrl.cwp == 3

@@ -1,0 +1,208 @@
+"""leon_ctrl state machine and disconnect-circuitry tests (paper §3.1)."""
+
+import pytest
+
+from repro.fpx.leon_ctrl import (
+    ERROR_TRAP_FELL_THROUGH,
+    GatedSram,
+    LeonController,
+)
+from repro.mem.sram import SramBank
+from repro.net.protocol import LeonState, LoadChunk
+from repro.peripherals import Clock, CycleCounter
+
+SRAM_BASE = 0x4000_0000
+POLL = 0x0000_1040
+ERROR = 0x0000_1090
+MAILBOX = SRAM_BASE
+
+
+@pytest.fixture
+def controller():
+    sram = SramBank(SRAM_BASE, 0x10000)
+    gate = GatedSram(sram)
+    clock = Clock()
+    counter = CycleCounter(clock)
+    leon = LeonController(gate, counter, POLL, ERROR, MAILBOX)
+    return leon, gate, sram, clock, counter
+
+
+class TestGate:
+    def test_connected_passes_through(self, controller):
+        _, gate, sram, _, _ = controller
+        sram.host_write_word(SRAM_BASE + 8, 0x1234)
+        assert gate.read(SRAM_BASE + 8, 4)[0] == 0x1234
+        gate.write(SRAM_BASE + 12, 4, 7)
+        assert sram.host_read_word(SRAM_BASE + 12) == 7
+
+    def test_disconnected_drives_zeros(self, controller):
+        """Figure 6: 'always drive 0s on the LEON processor's data bus'."""
+        _, gate, sram, _, _ = controller
+        sram.host_write_word(SRAM_BASE + 8, 0x1234)
+        gate.connected = False
+        assert gate.read(SRAM_BASE + 8, 4)[0] == 0
+        assert gate.blocked_reads == 1
+
+    def test_disconnected_swallows_writes(self, controller):
+        _, gate, sram, _, _ = controller
+        gate.connected = False
+        gate.write(SRAM_BASE + 8, 4, 0xBAD)
+        assert sram.host_read_word(SRAM_BASE + 8) == 0
+        assert gate.blocked_writes == 1
+
+    def test_disconnected_burst_reads_zero(self, controller):
+        _, gate, sram, _, _ = controller
+        sram.host_write_word(SRAM_BASE, 5)
+        gate.connected = False
+        words, _ = gate.read_burst(SRAM_BASE, 4)
+        assert words == [0, 0, 0, 0]
+
+    def test_host_side_unaffected_by_gate(self, controller):
+        """The user loads programs while LEON is disconnected."""
+        _, gate, sram, _, _ = controller
+        gate.connected = False
+        sram.host_write(SRAM_BASE + 0x1000, b"\xde\xad")
+        assert sram.host_read(SRAM_BASE + 0x1000, 2) == b"\xde\xad"
+
+
+class TestStateMachine:
+    def test_boot_to_polling_disconnects(self, controller):
+        leon, gate, _, _, _ = controller
+        assert leon.state == LeonState.RESET
+        leon.snoop_fetch(POLL)
+        assert leon.state == LeonState.POLLING
+        assert not gate.connected
+
+    def test_load_then_start_sequence(self, controller):
+        leon, gate, sram, clock, counter = controller
+        leon.snoop_fetch(POLL)
+        received, total = leon.handle_load_chunk(
+            LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x01\x02\x03\x04"))
+        assert (received, total) == (1, 1)
+        assert leon.state == LeonState.LOADING
+        assert sram.host_read(SRAM_BASE + 0x1000, 4) == b"\x01\x02\x03\x04"
+        entry = leon.start()
+        assert entry == SRAM_BASE + 0x1000
+        assert leon.state == LeonState.RUNNING
+        assert gate.connected
+        assert sram.host_read_word(MAILBOX) == entry
+        assert counter.running
+
+    def test_completion_freezes_counter_and_clears_mailbox(self, controller):
+        leon, gate, sram, clock, counter = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        leon.start()
+        leon.snoop_fetch(SRAM_BASE + 0x1000)   # LEON picks up the program
+        clock.advance(500)
+        done_cycles = []
+        leon.on_done = done_cycles.append
+        leon.snoop_fetch(POLL)  # program returned to the polling loop
+        assert leon.state == LeonState.DONE
+        assert done_cycles == [500]
+        assert not gate.connected
+        assert sram.host_read_word(MAILBOX) == 0
+        assert not counter.running
+
+    def test_program_fetches_do_not_complete(self, controller):
+        leon, _, sram, _, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        leon.start()
+        leon.snoop_fetch(SRAM_BASE + 0x1000)
+        leon.snoop_fetch(SRAM_BASE + 0x1004)
+        assert leon.state == LeonState.RUNNING
+
+    def test_poll_fetch_before_dispatch_is_not_completion(self, controller):
+        """The CPU may re-fetch the polling-loop head between START and
+        actually reading the mailbox; that must not count as done."""
+        leon, _, _, _, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        leon.start()
+        leon.snoop_fetch(POLL)      # still spinning, mailbox unread
+        leon.snoop_fetch(POLL)
+        assert leon.state == LeonState.RUNNING
+        leon.snoop_fetch(SRAM_BASE + 0x1000)  # dispatch observed
+        leon.snoop_fetch(POLL)
+        assert leon.state == LeonState.DONE
+
+    def test_duplicate_start_while_running_is_harmless(self, controller):
+        leon, _, _, _, counter = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        entry = leon.start()
+        leon.snoop_fetch(SRAM_BASE + 0x1000)
+        assert leon.start() == entry          # duplicate command
+        assert leon.programs_run == 1
+        leon.snoop_fetch(POLL)
+        assert leon.state == LeonState.DONE
+
+    def test_error_state_detected_and_reported(self, controller):
+        leon, _, _, _, _ = controller
+        errors = []
+        leon.on_error = errors.append
+        leon.snoop_fetch(ERROR)
+        assert leon.state == LeonState.ERROR
+        assert errors == [ERROR_TRAP_FELL_THROUGH]
+
+    def test_start_without_program_fails(self, controller):
+        leon, _, _, _, _ = controller
+        leon.snoop_fetch(POLL)
+        assert leon.start() is None
+
+    def test_explicit_entry_address(self, controller):
+        leon, _, _, _, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x2000, b"\x00" * 4))
+        assert leon.start(SRAM_BASE + 0x2000) == SRAM_BASE + 0x2000
+
+    def test_rerun_already_loaded_program(self, controller):
+        """'or the user sends a command to re-execute a program already
+        loaded in main memory'."""
+        leon, _, _, clock, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        leon.start()
+        leon.snoop_fetch(SRAM_BASE + 0x1000)   # dispatched
+        leon.snoop_fetch(POLL)  # done
+        assert leon.state == LeonState.DONE
+        assert leon.start() == SRAM_BASE + 0x1000
+        assert leon.state == LeonState.RUNNING
+        assert leon.programs_run == 2
+
+    def test_multi_chunk_load_out_of_order(self, controller):
+        leon, _, sram, _, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(1, 2, SRAM_BASE + 0x1010, b"BBBB"))
+        received, total = leon.handle_load_chunk(
+            LoadChunk(0, 2, SRAM_BASE + 0x1000, b"AAAA"))
+        assert (received, total) == (2, 2)
+        assert leon.loaded_base == SRAM_BASE + 0x1000
+        assert sram.host_read(SRAM_BASE + 0x1000, 4) == b"AAAA"
+
+    def test_read_memory_host_side(self, controller):
+        leon, _, sram, _, _ = controller
+        sram.host_write(SRAM_BASE + 8, b"\x11\x22\x33\x44")
+        assert leon.read_memory(SRAM_BASE + 8, 4) == b"\x11\x22\x33\x44"
+
+    def test_read_memory_bad_address(self, controller):
+        leon, _, _, _, _ = controller
+        assert leon.read_memory(0x9999_0000, 4) is None
+
+    def test_reset_returns_to_initial_state(self, controller):
+        leon, gate, _, _, _ = controller
+        leon.snoop_fetch(POLL)
+        leon.handle_load_chunk(LoadChunk(0, 1, SRAM_BASE + 0x1000, b"\x00" * 4))
+        leon.start()
+        leon.reset()
+        assert leon.state == LeonState.RESET
+        assert gate.connected
+        assert leon.loaded_base is None
+
+    def test_status_reports_state_and_cycles(self, controller):
+        leon, _, _, clock, _ = controller
+        leon.snoop_fetch(POLL)
+        state, cycles = leon.status()
+        assert state == LeonState.POLLING
+        assert cycles == 0

@@ -1,0 +1,123 @@
+"""Layered protocol wrappers + NID switch tests."""
+
+import pytest
+
+from repro.fpx.nid import PORTS, FourPortSwitch, VirtualCircuit
+from repro.fpx.wrappers import LayeredProtocolWrappers
+from repro.net.packets import build_udp_packet, parse_ip
+
+DEVICE_IP = "128.252.153.2"
+OTHER_IP = "128.252.153.3"
+CLIENT_IP = "10.0.0.1"
+
+
+def frame_to(dst_ip: str, dst_port: int = 2000, payload: bytes = b"cmd"):
+    return build_udp_packet(parse_ip(CLIENT_IP), parse_ip(dst_ip),
+                            40000, dst_port, payload)
+
+
+class TestWrappers:
+    def test_unwrap_for_our_address(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        unwrapped = wrappers.unwrap(frame_to(DEVICE_IP, 2000, b"hello"))
+        assert unwrapped is not None
+        assert unwrapped.payload == b"hello"
+        assert unwrapped.dst_port == 2000
+        assert unwrapped.src_port == 40000
+
+    def test_foreign_destination_dropped(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        assert wrappers.unwrap(frame_to(OTHER_IP)) is None
+        assert wrappers.stats.not_for_us == 1
+
+    def test_accept_any_ip_mode(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        wrappers.accept_any_ip = True
+        assert wrappers.unwrap(frame_to(OTHER_IP)) is not None
+
+    def test_malformed_ip_counted(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        assert wrappers.unwrap(b"\x45\x00garbage") is None
+        assert wrappers.stats.bad_ip == 1
+
+    def test_corrupt_udp_counted(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        frame = bytearray(frame_to(DEVICE_IP))
+        frame[-1] ^= 0xFF  # corrupt UDP payload
+        assert wrappers.unwrap(bytes(frame)) is None
+        assert wrappers.stats.bad_udp == 1
+
+    def test_non_udp_counted(self):
+        from repro.net.packets import Ipv4Packet
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        frame = Ipv4Packet(src_ip=1, dst_ip=parse_ip(DEVICE_IP),
+                           payload=b"", protocol=6).encode()
+        assert wrappers.unwrap(frame) is None
+        assert wrappers.stats.non_udp == 1
+
+    def test_wrap_produces_parseable_frame(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        frame = wrappers.wrap(b"response", parse_ip(CLIENT_IP), 40000, 2000)
+        unwrapped = LayeredProtocolWrappers.for_address(CLIENT_IP).unwrap(frame)
+        assert unwrapped.payload == b"response"
+        assert unwrapped.src_port == 2000
+
+    def test_wrap_unwrap_stats(self):
+        wrappers = LayeredProtocolWrappers.for_address(DEVICE_IP)
+        wrappers.wrap(b"x", 1, 2, 3)
+        wrappers.unwrap(frame_to(DEVICE_IP))
+        assert wrappers.stats.frames_out == 1
+        assert wrappers.stats.frames_in == 1
+
+
+class TestNid:
+    def test_default_route_to_rad(self):
+        switch = FourPortSwitch()
+        received = []
+        switch.attach("rad", lambda port, frame: received.append(frame))
+        switch.ingress("linecard0", b"frame")
+        assert received == [b"frame"]
+
+    def test_virtual_circuit_overrides_default(self):
+        switch = FourPortSwitch()
+        to_switch, to_rad = [], []
+        switch.attach("switch", lambda p, f: to_switch.append(f))
+        switch.attach("rad", lambda p, f: to_rad.append(f))
+        switch.add_circuit(VirtualCircuit(
+            "linecard0", "switch", match=lambda f: f.startswith(b"S"),
+            name="to-fabric"))
+        switch.ingress("linecard0", b"S-frame")
+        switch.ingress("linecard0", b"R-frame")
+        assert to_switch == [b"S-frame"]
+        assert to_rad == [b"R-frame"]
+
+    def test_unattached_egress_drops(self):
+        switch = FourPortSwitch()
+        switch.ingress("linecard0", b"frame")
+        assert switch.stats.dropped == 1
+
+    def test_hairpin_dropped(self):
+        switch = FourPortSwitch()
+        switch.attach("rad", lambda p, f: None)
+        switch.add_circuit(VirtualCircuit("rad", "rad"))
+        switch.ingress("rad", b"loop")
+        assert switch.stats.dropped == 1
+
+    def test_unknown_port_rejected(self):
+        switch = FourPortSwitch()
+        with pytest.raises(ValueError):
+            switch.ingress("bogus", b"")
+        with pytest.raises(ValueError):
+            switch.attach("bogus", lambda p, f: None)
+
+    def test_per_port_counters(self):
+        switch = FourPortSwitch()
+        switch.attach("rad", lambda p, f: None)
+        switch.ingress("linecard0", b"a")
+        switch.ingress("linecard1", b"b")
+        assert switch.stats.per_port_in == {"linecard0": 1, "linecard1": 1}
+        assert switch.stats.per_port_out == {"rad": 2}
+        assert switch.stats.forwarded == 2
+
+    def test_port_names_documented(self):
+        assert set(PORTS) == {"linecard0", "linecard1", "switch", "rad"}

@@ -1,0 +1,175 @@
+"""Boot ROM (original vs modified, Figure 5), SRAM, memory map tests."""
+
+import pytest
+
+from repro.cpu import IntegerUnit
+from repro.bus.ahb import AhbBus
+from repro.mem.bootrom import BootRom, build_boot_rom
+from repro.mem.interface import BusError
+from repro.mem.memmap import DEFAULT_MAP, MemoryMap
+from repro.mem.sram import SramBank
+
+
+class TestMemoryMap:
+    def test_regions(self):
+        mm = DEFAULT_MAP
+        assert mm.region_of(0x0000_0100) == "prom"
+        assert mm.region_of(0x4000_1000) == "sram"
+        assert mm.region_of(0x6000_0000) == "sdram"
+        assert mm.region_of(0x8000_0040) == "apb"
+        assert mm.region_of(0xF000_0000) == "unmapped"
+
+    def test_cacheability(self):
+        mm = DEFAULT_MAP
+        assert mm.cacheable(0x4000_1000)      # program SRAM
+        assert mm.cacheable(0x0000_0000)      # PROM
+        assert mm.cacheable(0x6000_0000)      # SDRAM
+        assert not mm.cacheable(0x8000_0040)  # APB
+        assert not mm.cacheable(mm.mailbox_start)  # mailbox word
+        assert not mm.cacheable(mm.result_addr)
+
+    def test_stack_leaves_save_area_headroom(self):
+        mm = DEFAULT_MAP
+        assert mm.stack_top + 64 <= mm.sram_base + mm.sram_size
+        assert mm.stack_top % 8 == 0
+
+    def test_custom_map(self):
+        mm = MemoryMap(sram_base=0x2000_0000, sram_size=0x1000_0000)
+        assert mm.mailbox_start == 0x2000_0000
+        assert mm.program_base == 0x2000_1000
+
+
+class TestSram:
+    def test_host_and_bus_views_agree(self):
+        sram = SramBank(0x4000_0000, 0x1000)
+        sram.host_write(0x4000_0010, b"\x01\x02\x03\x04")
+        value, _ = sram.read(0x4000_0010, 4)
+        assert value == 0x01020304
+        sram.write(0x4000_0020, 4, 0xAABB)
+        assert sram.host_read_word(0x4000_0020) == 0xAABB
+
+    def test_out_of_range_raises(self):
+        sram = SramBank(0x4000_0000, 0x100)
+        with pytest.raises(BusError):
+            sram.read(0x4000_0100, 4)
+        with pytest.raises(BusError):
+            sram.host_write(0x3FFF_FFFF, b"x")
+
+    def test_burst_read(self):
+        sram = SramBank(0x4000_0000, 0x1000)
+        for index in range(4):
+            sram.host_write_word(0x4000_0000 + 4 * index, index)
+        words, waits = sram.read_burst(0x4000_0000, 4)
+        assert words == [0, 1, 2, 3]
+        assert waits == 0
+
+
+class TestBootRomImage:
+    def test_trap_table_occupies_first_4k(self):
+        info = build_boot_rom()
+        assert info.boot_start >= 0x1000
+        assert info.poll_address > info.boot_start
+
+    def test_reset_vector_branches(self):
+        info = build_boot_rom()
+        word = int.from_bytes(info.image[0:4], "big")
+        assert (word >> 30) == 0  # format 2 (branch)
+
+    def test_all_256_entries_present(self):
+        info = build_boot_rom()
+        for tt in range(256):
+            word = int.from_bytes(info.image[tt * 16:tt * 16 + 4], "big")
+            assert (word >> 22) & 7 == 2, f"entry {tt} is not a Bicc"
+
+    def test_symbols_exported(self):
+        info = build_boot_rom()
+        for name in ("check_ready", "error_state", "boot_start",
+                     "window_overflow", "window_underflow", "syscall_exit"):
+            assert name in info.symbols
+
+    def test_rom_is_read_only(self):
+        info = build_boot_rom()
+        rom = BootRom(0, 0x2000, info.image)
+        with pytest.raises(BusError):
+            rom.write(0x100, 4, 1)
+
+    def test_rom_read_and_burst(self):
+        info = build_boot_rom()
+        rom = BootRom(0, 0x2000, info.image)
+        value, _ = rom.read(0, 4)
+        assert value == int.from_bytes(info.image[:4], "big")
+        words, _ = rom.read_burst(0, 4)
+        assert len(words) == 4
+
+    def test_image_must_fit(self):
+        info = build_boot_rom()
+        with pytest.raises(ValueError):
+            BootRom(0, 256, info.image)
+
+    def test_nwindows_parameterizes_handlers(self):
+        small = build_boot_rom(nwindows=4)
+        large = build_boot_rom(nwindows=16)
+        assert small.image != large.image
+
+
+class TestBootBehaviour:
+    def _boot_system(self, modified: bool):
+        mm = DEFAULT_MAP
+        info = build_boot_rom(mm, modified=modified)
+        bus = AhbBus()
+        bus.attach(BootRom(mm.prom_base, mm.prom_size, info.image),
+                   mm.prom_base, mm.prom_size, "prom")
+        sram = SramBank(mm.sram_base, mm.sram_size)
+        bus.attach(sram, mm.sram_base, mm.sram_size, "sram")
+        # A permissive APB stand-in for the UART the original ROM polls.
+        from repro.bus.apb import ApbBridge
+        from repro.peripherals import Uart
+        apb = ApbBridge(mm.apb_base)
+        uart = Uart()
+        from repro.mem.memmap import UART_OFFSET
+        apb.attach(uart, UART_OFFSET, 0x10, "uart")
+        bus.attach(apb, mm.apb_base, mm.apb_size, "apb")
+        iu = IntegerUnit(bus, bus, reset_pc=mm.prom_base)
+        return info, iu, sram, uart
+
+    def test_modified_rom_reaches_polling_loop(self):
+        info, iu, _, _ = self._boot_system(modified=True)
+        iu.run(max_instructions=5000, until_pc=info.poll_address)
+        assert iu.ctrl.et  # traps enabled by boot
+
+    def test_modified_rom_polls_until_mailbox_nonzero(self):
+        info, iu, sram, _ = self._boot_system(modified=True)
+        iu.run(max_instructions=5000, until_pc=info.poll_address)
+        # Spin several loop iterations: stays in the poll region.
+        poll_region = range(info.poll_address, info.poll_address + 40)
+        for _ in range(200):
+            iu.step()
+            assert iu.pc in poll_region
+        # Release: write a target address; must jump there.
+        target = DEFAULT_MAP.program_base
+        sram.host_write_word(DEFAULT_MAP.mailbox_start, target)
+        sram.host_write_word(target, 0x01000000)  # nop
+        sram.host_write_word(target + 4, 0x01000000)
+        iu.run(max_instructions=2000, until_pc=target)
+        assert iu.pc == target
+
+    def test_original_rom_blocks_on_uart(self):
+        """Figure 5 left: without a UART event the stock ROM never leaves
+        its wait loop — the reason the modification exists."""
+        info, iu, sram, _ = self._boot_system(modified=False)
+        load_wait = info.symbols["load_wait"]
+        iu.run(max_instructions=5000, until_pc=load_wait)
+        sram.host_write_word(DEFAULT_MAP.mailbox_start,
+                             DEFAULT_MAP.program_base)  # mailbox is ignored
+        wait_region = range(load_wait, load_wait + 40)
+        for _ in range(300):
+            iu.step()
+            assert iu.pc in wait_region
+
+    def test_original_rom_proceeds_after_uart_event(self):
+        info, iu, _, uart = self._boot_system(modified=False)
+        load_wait = info.symbols["load_wait"]
+        iu.run(max_instructions=5000, until_pc=load_wait)
+        uart.host_send(b"\x01")
+        iu.run(max_instructions=500,
+               until_pc=info.symbols["check_ready"])

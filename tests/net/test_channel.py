@@ -1,0 +1,109 @@
+"""Fault-injecting channel tests: determinism, loss, reorder, duplicate."""
+
+import pytest
+
+from repro.net.channel import Channel, ChannelConfig, duplex, pump
+
+
+def send_many(channel: Channel, count: int = 100) -> list[bytes]:
+    datagrams = [bytes([i % 256]) * 4 for i in range(count)]
+    for datagram in datagrams:
+        channel.send(datagram)
+    return datagrams
+
+
+class TestPerfectChannel:
+    def test_in_order_lossless_delivery(self):
+        channel = Channel()
+        sent = send_many(channel, 50)
+        assert channel.deliver() == sent
+
+    def test_idle_after_drain(self):
+        channel = Channel()
+        send_many(channel, 3)
+        channel.deliver()
+        assert channel.idle
+
+    def test_stats(self):
+        channel = Channel()
+        send_many(channel, 5)
+        channel.deliver()
+        stats = channel.stats()
+        assert stats["sent"] == 5
+        assert stats["delivered"] == 5
+        assert stats["dropped"] == 0
+
+
+class TestFaults:
+    def test_loss_drops_roughly_the_configured_fraction(self):
+        channel = Channel(ChannelConfig(loss=0.3), seed=42)
+        send_many(channel, 1000)
+        delivered = channel.drain_all()
+        assert 550 < len(delivered) < 850
+
+    def test_total_loss(self):
+        channel = Channel(ChannelConfig(loss=1.0), seed=1)
+        send_many(channel, 20)
+        assert channel.drain_all() == []
+        assert channel.dropped == 20
+
+    def test_duplication_delivers_extras(self):
+        channel = Channel(ChannelConfig(duplicate=0.5), seed=7)
+        send_many(channel, 200)
+        delivered = channel.drain_all()
+        assert len(delivered) > 200
+        assert channel.duplicated == len(delivered) - 200
+
+    def test_reordering_changes_order_not_content(self):
+        channel = Channel(ChannelConfig(reorder=0.4), seed=3)
+        sent = send_many(channel, 100)
+        delivered = channel.drain_all()
+        assert sorted(delivered) == sorted(sent)
+        assert delivered != sent
+        assert channel.reordered > 0
+
+    def test_corruption_flips_bytes(self):
+        channel = Channel(ChannelConfig(corrupt=1.0), seed=5)
+        channel.send(b"\x00\x00\x00\x00")
+        [datagram] = channel.deliver()
+        assert datagram != b"\x00\x00\x00\x00"
+        assert channel.corrupted == 1
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            channel = Channel(ChannelConfig(loss=0.2, reorder=0.2,
+                                            duplicate=0.1), seed=seed)
+            send_many(channel, 100)
+            return channel.drain_all()
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_delayed_datagrams_eventually_arrive(self):
+        channel = Channel(ChannelConfig(reorder=1.0, max_delay_slots=2),
+                          seed=2)
+        channel.send(b"late")
+        first = channel.deliver()
+        assert b"late" not in first
+        rest = channel.drain_all()
+        assert b"late" in rest
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(loss=1.5)
+
+
+class TestHelpers:
+    def test_duplex_pair_is_independent(self):
+        a, b = duplex(seed=11)
+        a.send(b"to-device")
+        assert b.deliver() == []
+        assert a.deliver() == [b"to-device"]
+
+    def test_pump_invokes_handler(self):
+        channel = Channel()
+        send_many(channel, 4)
+        received = []
+        count = pump(channel, received.append)
+        assert count == 4
+        assert len(received) == 4

@@ -1,0 +1,199 @@
+"""Control-protocol codec and program-assembly tests (paper §2.6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import protocol
+from repro.net.protocol import (
+    Command,
+    LeonState,
+    LoadChunk,
+    ProgramAssembler,
+    ProtocolError,
+    ReadRequest,
+    Response,
+    RestartRequest,
+    StartRequest,
+    StatusRequest,
+    decode_command,
+    decode_response,
+    packetize_program,
+)
+
+
+class TestCommandCodecs:
+    def test_status_roundtrip(self):
+        assert isinstance(decode_command(protocol.encode_status_request()),
+                          StatusRequest)
+
+    def test_restart_roundtrip(self):
+        assert isinstance(decode_command(protocol.encode_restart()),
+                          RestartRequest)
+
+    def test_load_chunk_roundtrip(self):
+        payload = protocol.encode_load_chunk(2, 5, 0x4000_1100, b"\x01\x02")
+        chunk = decode_command(payload)
+        assert chunk == LoadChunk(2, 5, 0x4000_1100, b"\x01\x02")
+
+    def test_load_trailing_bytes_ignored(self):
+        """'If the program is shorter than the UDP packet length ... the
+        remaining bytes would be ignored.'"""
+        payload = protocol.encode_load_chunk(0, 1, 0x4000_1000, b"AB")
+        chunk = decode_command(payload + b"PADDINGPADDING")
+        assert chunk.data == b"AB"
+
+    def test_load_shorter_than_length_rejected(self):
+        payload = protocol.encode_load_chunk(0, 1, 0x4000_1000, b"ABCD")
+        with pytest.raises(ProtocolError):
+            decode_command(payload[:-2])
+
+    def test_load_bad_sequence_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_load_chunk(5, 5, 0, b"x")
+
+    def test_start_roundtrip(self):
+        request = decode_command(protocol.encode_start(0x4000_2000))
+        assert request == StartRequest(0x4000_2000)
+
+    def test_read_roundtrip(self):
+        request = decode_command(protocol.encode_read_memory(0x4000_0008, 16))
+        assert request == ReadRequest(0x4000_0008, 16)
+
+    def test_read_length_limits(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_read_memory(0, 0)
+        with pytest.raises(ProtocolError):
+            protocol.encode_read_memory(0, protocol.MAX_READ_BYTES + 1)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_command(b"\x7f")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_command(b"")
+
+    def test_command_codes_are_unique(self):
+        codes = [c.value for c in Command]
+        assert len(codes) == len(set(codes))
+
+
+class TestResponseCodecs:
+    def test_status_response(self):
+        payload = protocol.encode_status_response(LeonState.RUNNING, 9999)
+        response = decode_response(payload)
+        assert response.state == LeonState.RUNNING
+        assert response.cycles == 9999
+
+    def test_memory_data(self):
+        payload = protocol.encode_memory_data(0x4000_0008, b"\xde\xad")
+        response = decode_response(payload)
+        assert response.address == 0x4000_0008
+        assert response.data == b"\xde\xad"
+
+    def test_error_response_with_message(self):
+        payload = protocol.encode_error(0x42, "bad things")
+        response = decode_response(payload)
+        assert response.code == 0x42
+        assert response.message == "bad things"
+
+    def test_load_ack_and_started(self):
+        assert decode_response(protocol.encode_load_ack(3, 7)).received == 3
+        assert decode_response(protocol.encode_started(0x40001000)).entry \
+            == 0x40001000
+
+    def test_response_codes_have_top_bit(self):
+        for code in Response:
+            assert code.value & 0x80
+
+    @given(state=st.sampled_from(list(LeonState)),
+           cycles=st.integers(0, 0xFFFF_FFFF))
+    def test_status_roundtrip_property(self, state, cycles):
+        response = decode_response(
+            protocol.encode_status_response(state, cycles))
+        assert (response.state, response.cycles) == (state, cycles)
+
+
+class TestPacketizer:
+    def test_single_packet_program(self):
+        payloads = packetize_program(0x4000_1000, b"\x01" * 64)
+        assert len(payloads) == 1
+        chunk = decode_command(payloads[0])
+        assert chunk.total == 1 and chunk.seq == 0
+
+    def test_multi_packet_addresses_are_sequential(self):
+        blob = bytes(range(256)) + bytes(100)
+        payloads = packetize_program(0x4000_1000, blob, chunk=128)
+        chunks = [decode_command(p) for p in payloads]
+        assert [c.seq for c in chunks] == [0, 1, 2]
+        assert [c.address for c in chunks] == [
+            0x4000_1000, 0x4000_1080, 0x4000_1100]
+        assert b"".join(c.data for c in chunks) == blob
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProtocolError):
+            packetize_program(0, b"")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            packetize_program(0, b"x" * 8, chunk=6)
+
+    @given(blob=st.binary(min_size=1, max_size=2000),
+           chunk=st.sampled_from([4, 64, 128, 256]))
+    def test_packetize_reassemble_roundtrip(self, blob, chunk):
+        payloads = packetize_program(0x4000_1000, blob, chunk)
+        assembler = ProgramAssembler()
+        for payload in payloads:
+            assembler.add(decode_command(payload))
+        assert assembler.complete
+        rebuilt = bytearray(len(blob))
+        for address, data in assembler.writes():
+            offset = address - 0x4000_1000
+            rebuilt[offset:offset + len(data)] = data
+        assert bytes(rebuilt) == blob
+
+
+class TestProgramAssembler:
+    def _chunks(self, count=4):
+        blob = bytes(range(count * 16))
+        return [decode_command(p)
+                for p in packetize_program(0x4000_1000, blob, chunk=16)]
+
+    def test_out_of_order_completion(self):
+        chunks = self._chunks(4)
+        assembler = ProgramAssembler()
+        for chunk in (chunks[3], chunks[0], chunks[2]):
+            assert not assembler.complete
+            assembler.add(chunk)
+        assembler.add(chunks[1])
+        assert assembler.complete
+        assert assembler.base_address() == 0x4000_1000
+
+    def test_duplicates_are_idempotent(self):
+        chunks = self._chunks(2)
+        assembler = ProgramAssembler()
+        assembler.add(chunks[0])
+        assembler.add(chunks[0])
+        assert assembler.received == 1
+        assembler.add(chunks[1])
+        assert assembler.complete
+
+    def test_new_total_resets_assembler(self):
+        assembler = ProgramAssembler()
+        assembler.add(LoadChunk(0, 2, 0x4000_1000, b"old!"))
+        assembler.add(LoadChunk(0, 3, 0x4000_2000, b"new!"))  # new load
+        assert assembler.total == 3
+        assert assembler.received == 1
+
+    def test_base_address_without_chunks_raises(self):
+        with pytest.raises(ProtocolError):
+            ProgramAssembler().base_address()
+
+    def test_writes_sorted_by_sequence(self):
+        chunks = self._chunks(3)
+        assembler = ProgramAssembler()
+        for chunk in reversed(chunks):
+            assembler.add(chunk)
+        addresses = [address for address, _ in assembler.writes()]
+        assert addresses == sorted(addresses)
