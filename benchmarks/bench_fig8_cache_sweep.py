@@ -17,31 +17,45 @@ import pytest
 
 from repro.core import ArchitectureConfig, ConfigurationSpace
 
-from .conftest import print_table, run_on_config
+from .conftest import print_table, sweep_point
 
 CACHE_SIZES = [1024, 2048, 4096, 8192, 16384]
 
 
 @pytest.fixture(scope="module")
-def sweep_cycles(fig7_image):
-    results = {}
-    for config in ConfigurationSpace.paper_cache_sweep():
-        cycles, seconds = run_on_config(fig7_image, config)
-        results[config.dcache.size] = (cycles, seconds)
-    return results
+def fig8_outcome(fig7_image):
+    from repro.core import ResultCache, SweepRunner
+
+    runner = SweepRunner(cache=ResultCache())
+    outcome = runner.sweep(ConfigurationSpace.paper_cache_sweep(),
+                           fig7_image)
+    # Re-running the sweep must be free: every point served from the
+    # result cache, zero fresh simulations.
+    rerun = runner.sweep(ConfigurationSpace.paper_cache_sweep(), fig7_image)
+    assert rerun.stats.simulated == 0
+    assert rerun.stats.cache_hits == outcome.stats.points
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def sweep_cycles(fig8_outcome):
+    return {point.config.dcache.size: (point.cycles, point.seconds)
+            for point in fig8_outcome.points}
 
 
 @pytest.mark.parametrize("size", CACHE_SIZES)
 def test_fig8_running_time(benchmark, fig7_image, sweep_cycles, size):
-    """One Figure 8 row per cache size; wall time benchmarks the
-    simulator, extra_info carries the model's cycle count."""
+    """One Figure 8 row per cache size; wall time benchmarks the sweep
+    engine evaluating the point, extra_info carries the model's cycle
+    count.  The fresh evaluation must reproduce the sweep's cached
+    result exactly."""
     config = ArchitectureConfig().with_dcache_size(size)
-    cycles, seconds = benchmark.pedantic(
-        run_on_config, args=(fig7_image, config), rounds=1, iterations=1)
+    point = benchmark.pedantic(
+        sweep_point, args=(fig7_image, config), rounds=1, iterations=1)
     benchmark.extra_info["dcache_bytes"] = size
-    benchmark.extra_info["model_cycles"] = cycles
-    benchmark.extra_info["model_seconds"] = seconds
-    assert cycles == sweep_cycles[size][0]  # deterministic
+    benchmark.extra_info["model_cycles"] = point.cycles
+    benchmark.extra_info["model_seconds"] = point.seconds
+    assert point.cycles == sweep_cycles[size][0]  # deterministic
 
 
 def test_fig8_table_and_shape(benchmark, sweep_cycles):

@@ -13,9 +13,9 @@ hardware counter showed.
 
 import pytest
 
-from repro.core import ArchitectureConfig
+from repro.core import ArchitectureConfig, ConfigurationSpace, SweepRunner
 
-from .conftest import print_table, run_on_config
+from .conftest import print_table, sweep_point
 
 CACHE_SIZES = [1024, 2048, 4096, 8192, 16384]
 REPEATS = 3
@@ -23,18 +23,21 @@ REPEATS = 3
 
 @pytest.fixture(scope="module")
 def series(fig7_image):
+    """REPEATS independent (uncached) sweeps — the "average" the paper
+    took over repeated hardware runs, which determinism degenerates."""
+    sweeps = [SweepRunner().sweep(ConfigurationSpace.paper_cache_sweep(),
+                                  fig7_image)
+              for _ in range(REPEATS)]
     points = []
-    for size in CACHE_SIZES:
-        config = ArchitectureConfig().with_dcache_size(size)
-        runs = [run_on_config(fig7_image, config)[0]
-                for _ in range(REPEATS)]
+    for index, size in enumerate(CACHE_SIZES):
+        runs = [sweep.points[index].cycles for sweep in sweeps]
         points.append((size, sum(runs) / len(runs), min(runs), max(runs)))
     return points
 
 
 def test_fig9_series_benchmark(benchmark, fig7_image, series):
     config = ArchitectureConfig().with_dcache_size(4096)
-    benchmark.pedantic(run_on_config, args=(fig7_image, config),
+    benchmark.pedantic(sweep_point, args=(fig7_image, config),
                        rounds=1, iterations=1)
     benchmark.extra_info["series"] = [
         {"cache_bytes": size, "avg_cycles": avg}

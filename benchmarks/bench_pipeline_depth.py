@@ -10,10 +10,15 @@ application-specific trade the liquid-architecture loop optimizes.
 
 import pytest
 
-from repro.core import ArchitectureConfig, SynthesisModel, simulate
+from repro.core import (
+    ArchitectureConfig,
+    ConfigurationSpace,
+    ResultCache,
+    SweepRunner,
+)
 from repro.toolchain.driver import compile_c_program
 
-from .conftest import print_table
+from .conftest import print_table, sweep_point
 
 DEPTHS = [3, 5, 7]
 
@@ -58,17 +63,18 @@ int main(void) {
 
 @pytest.fixture(scope="module")
 def depth_matrix():
-    model = SynthesisModel()
+    """One sweep per kernel over the pipeline-depth dimension; the
+    shared result cache keeps repeated fixture use free."""
+    runner = SweepRunner(cache=ResultCache())
     matrix = {}
     for kernel_name, source in KERNELS.items():
         image = compile_c_program(source)
-        for depth in DEPTHS:
-            config = ArchitectureConfig(pipeline_depth=depth)
-            report = simulate(image, config)
-            mhz = model.estimate(config).frequency_mhz
-            matrix[(kernel_name, depth)] = (
-                report.cycles, mhz, report.cycles / (mhz * 1e6),
-                report.result_word)
+        space = ConfigurationSpace(ArchitectureConfig())
+        space.add_dimension("pipeline_depth", DEPTHS)
+        for point in runner.sweep(space, image).points:
+            matrix[(kernel_name, point.config.pipeline_depth)] = (
+                point.cycles, point.frequency_mhz, point.seconds,
+                point.result_word)
     return matrix
 
 
@@ -76,10 +82,10 @@ def depth_matrix():
 def test_pipeline_depth_benchmark(benchmark, depth, depth_matrix):
     image = compile_c_program(KERNELS["branchy (LFSR decisions)"])
     config = ArchitectureConfig(pipeline_depth=depth)
-    report = benchmark.pedantic(lambda: simulate(image, config),
-                                rounds=1, iterations=1)
+    point = benchmark.pedantic(sweep_point, args=(image, config),
+                               rounds=1, iterations=1)
     benchmark.extra_info["depth"] = depth
-    benchmark.extra_info["model_cycles"] = report.cycles
+    benchmark.extra_info["model_cycles"] = point.cycles
 
 
 def test_pipeline_depth_table(benchmark, depth_matrix):

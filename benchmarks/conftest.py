@@ -43,12 +43,25 @@ def figure7_image(iterations: int = FIGURE7_ITERATIONS):
 
 def run_on_config(image, config: ArchitectureConfig,
                   max_instructions: int = 20_000_000) -> tuple[int, float]:
-    """Execute *image* on a fresh system with *config*; returns
-    (cycles, model_seconds)."""
+    """Execute *image* on a fresh full-platform system with *config*;
+    returns (cycles, model_seconds).  The remote-roundtrip benches still
+    need this network-attached path; the sweeping benches go through
+    :func:`sweep_point` (the Sim box) instead."""
     system = LiquidProcessorSystem(config)
     run = system.run_image(image, max_instructions=max_instructions)
     assert run.state == "DONE", f"run ended {run.state}"
     return run.cycles, run.seconds
+
+
+def sweep_point(image, config: ArchitectureConfig,
+                max_instructions: int = 20_000_000):
+    """Evaluate one configuration through the sweep engine (fresh
+    runner, no cache); returns the :class:`repro.core.SweepPoint`."""
+    from repro.core import SweepRunner
+
+    outcome = SweepRunner().sweep([config], image,
+                                  max_instructions=max_instructions)
+    return outcome.points[0]
 
 
 @pytest.fixture(scope="session")

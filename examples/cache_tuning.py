@@ -6,6 +6,8 @@ reconfiguration server, and show the Figure 8/9 result.
     python examples/cache_tuning.py
 """
 
+import tempfile
+
 from repro.analysis.trace import TraceRecorder
 from repro.core import (
     ArchitectureConfig,
@@ -13,6 +15,8 @@ from repro.core import (
     Job,
     LiquidProcessorSystem,
     ReconfigurationServer,
+    ResultCache,
+    SweepRunner,
     TraceAnalyzer,
 )
 
@@ -60,15 +64,28 @@ def main() -> None:
     print(f"paid once: {result.seconds_synthesis / 3600:.2f} h synthesis, "
           f"{result.seconds_programming * 1e3:.1f} ms SelectMap programming")
 
-    # --- 4. The full Figure 8 sweep, now cheap via the recon cache -------
-    print("\nFigure 8 sweep (cycles by D-cache size):")
-    for config in ConfigurationSpace.paper_cache_sweep():
-        job = server.run_job(Job(image=image, config=config, name="sweep"))
-        marker = " <- knee" if config.dcache.size == 4096 else ""
-        cached = "cache hit" if job.cache_hit else \
-            f"synthesized {job.seconds_synthesis / 3600:.2f} h"
-        print(f"  {config.dcache.size // 1024:>3} KB : {job.cycles:>8} "
-              f"cycles  ({cached}){marker}")
+    # --- 4. The full Figure 8 sweep: parallel, with a result cache -------
+    # The SweepRunner is the software analogue of the reconfiguration
+    # cache: points are evaluated across worker processes and memoised
+    # on disk, so re-running the sweep costs nothing.
+    print("\nFigure 8 sweep (cycles by D-cache size, 2 workers):")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(workers=2, cache=ResultCache(cache_dir))
+        outcome = runner.sweep(ConfigurationSpace.paper_cache_sweep(), image)
+        for point in outcome.points:
+            marker = " <- knee" if point.config.dcache.size == 4096 else ""
+            print(f"  {point.config.dcache.size // 1024:>3} KB : "
+                  f"{point.cycles:>8} cycles  "
+                  f"({point.source}, {point.wall_seconds:.2f}s){marker}")
+        rerun = runner.sweep(ConfigurationSpace.paper_cache_sweep(), image)
+        assert rerun.stats.simulated == 0
+        print(f"re-run: {rerun.stats.cache_hits}/{rerun.stats.points} "
+              f"points served from the result cache, 0 simulations")
+        front = outcome.pareto_front()
+        print("cycles/area Pareto front:",
+              ", ".join(f"{p.config.dcache.size // 1024}KB "
+                        f"({p.cycles} cyc, {p.slices} slices)"
+                        for p in front))
 
     print("\nreconfiguration ledger:", server.ledger())
     assert result.cycles < baseline.cycles

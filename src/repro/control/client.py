@@ -9,7 +9,9 @@ as the dedicated listener thread of the paper's control server did.
 Reliability note: the paper's protocol is fire-and-forget UDP with a
 human watching the console.  The client layers a simple
 send/ack/retransmit loop on top so that program loading succeeds over
-lossy channels; the wire format is unchanged.
+lossy channels; retries resend only the chunks the device reports
+missing (LOAD_ACK carries a backwards-compatible missing-sequence
+list), not the full payload set.
 """
 
 from __future__ import annotations
@@ -106,22 +108,45 @@ class LiquidClient:
 
     def load_binary(self, base: int, blob: bytes,
                     chunk: int = protocol.DEFAULT_CHUNK) -> int:
-        """Load a flat binary; returns the number of chunks transmitted
-        (including retransmissions)."""
+        """Load a flat binary; returns the number of chunk payloads
+        transmitted (including retransmissions).
+
+        Each round sends only the chunks still unacknowledged: acks
+        carry the device's reassembly progress and its missing-sequence
+        list, so a retry retransmits the lost chunks instead of the full
+        payload set.  The count is taken from the transport's own send
+        counter, so every wire transmission — including retries — is
+        reported.
+        """
         payloads = protocol.packetize_program(base, blob, chunk)
         total = len(payloads)
-        transmissions = 0
-        for attempt in range(self.max_retries):
-            for payload in payloads:
-                self.transport.send(payload)
-                transmissions += 1
-            ack = self._request(
-                # Nudge with the first chunk; acks carry progress.
-                payloads[0], LoadAck,
-                predicate=lambda ack: ack.total == total)
-            transmissions += 1
-            if ack.received >= ack.total:
-                return transmissions
+        sent_before = self.transport.sent_payloads
+        pending = list(range(total))
+        for _ in range(self.max_retries):
+            for seq in pending:
+                self.transport.send(payloads[seq])
+            # Poll for acks; every chunk solicits one, so no separate
+            # nudge packet is needed.  Track the most advanced ack of
+            # the round — early acks still list chunks that arrive
+            # moments later.
+            best: LoadAck | None = None
+            for _ in range(self.poll_rounds):
+                for response in self._collect():
+                    if isinstance(response, ErrorResponse):
+                        raise DeviceError(response)
+                    if isinstance(response, LoadAck) \
+                            and response.total == total:
+                        if best is None or response.received > best.received:
+                            best = response
+                if best is not None and best.received >= total:
+                    return self.transport.sent_payloads - sent_before
+                self.transport.idle_device()
+            if best is not None and best.missing:
+                pending = sorted(seq for seq in set(best.missing)
+                                 if seq < total)
+            # else: no ack at all (the whole round was lost) or a
+            # count-only ack from a seed-format device — resend the
+            # current pending set unchanged.
         raise ControlTimeout(f"program load incomplete after "
                              f"{self.max_retries} attempts")
 

@@ -90,7 +90,8 @@ class HardwareEmulator:
             if self.assembler.complete:
                 self.loaded_base = self.assembler.base_address()
             self._reply(protocol.encode_load_ack(self.assembler.received,
-                                                 self.assembler.total or 0))
+                                                 self.assembler.total or 0,
+                                                 self.assembler.missing()))
         elif isinstance(command, StartRequest):
             entry = command.entry or self.loaded_base
             if entry is None:

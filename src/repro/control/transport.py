@@ -53,6 +53,8 @@ class _TransportBase:
         self.client_port = client_port
         self.sent_payloads = 0
         self.received_payloads = 0
+        self.dropped_corrupt = 0        # failed IP/UDP parse or checksum
+        self.dropped_misaddressed = 0   # parsed, but not for this client
 
     def _frame_for(self, payload: bytes) -> bytes:
         self.sent_payloads += 1
@@ -66,11 +68,25 @@ class _TransportBase:
             try:
                 ip, udp = parse_udp_packet(frame)
             except Exception:
-                continue  # corrupted on the wire; checksum caught it
+                # Corrupted on the wire; the checksum caught it.  Count
+                # it instead of swallowing it so lossy-channel tests can
+                # assert the drop actually happened.
+                self.dropped_corrupt += 1
+                continue
             if ip.dst_ip == self.client_ip and udp.dst_port == self.client_port:
                 payloads.append(udp.payload)
                 self.received_payloads += 1
+            else:
+                self.dropped_misaddressed += 1
         return payloads
+
+    def stats(self) -> dict:
+        return {
+            "sent_payloads": self.sent_payloads,
+            "received_payloads": self.received_payloads,
+            "dropped_corrupt": self.dropped_corrupt,
+            "dropped_misaddressed": self.dropped_misaddressed,
+        }
 
     # -- device-driving helpers -------------------------------------------
 

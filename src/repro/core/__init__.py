@@ -21,6 +21,16 @@ from repro.core.rewriter import (
     install_recipes,
 )
 from repro.core.space import ConfigurationSpace
+from repro.core.sweep import (
+    ResultCache,
+    SweepOutcome,
+    SweepPoint,
+    SweepRunner,
+    SweepStats,
+    best_point,
+    image_digest,
+    pareto_front,
+)
 from repro.core.synthesis import (
     Bitfile,
     DeviceUtilization,
@@ -56,6 +66,14 @@ __all__ = [
     "RewriteRecipe",
     "install_recipes",
     "ConfigurationSpace",
+    "ResultCache",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepStats",
+    "best_point",
+    "image_digest",
+    "pareto_front",
     "Bitfile",
     "DeviceUtilization",
     "SynthesisError",

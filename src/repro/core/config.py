@@ -11,7 +11,9 @@ reconfiguration cache and the synthesis model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 from repro.cache.cache import CacheGeometry
 from repro.cpu.pipeline import TimingConfig
@@ -155,6 +157,20 @@ class ArchitectureConfig:
         for ext in sorted(self.extensions, key=lambda e: e.opf):
             parts.append(f"x{ext.name}")
         return "-".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over *every* field, for result caching.
+
+        ``key()`` stays the human-readable bitfile stem but omits fields
+        that do not change the wiring name (an extension's ``cycles`` or
+        ``slice_cost``); the fingerprint must distinguish those too, so
+        it hashes the full canonical field dump.  Unlike Python's salted
+        ``hash()`` it is identical across processes and sessions, which
+        is what lets the on-disk sweep cache survive restarts.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def with_dcache_size(self, size: int) -> "ArchitectureConfig":
         """The paper's own sweep axis, as a one-liner."""

@@ -1,0 +1,426 @@
+"""Parallel sweep engine with a persistent result cache.
+
+The paper's workflow evaluates an application across a pre-computed
+configuration space: bitfiles are synthesized once per point, captured
+in the reconfiguration cache, and re-used at runtime (Figure 1's
+right-hand loop, the Figure 8 cache sweep).  This module is the software
+analogue for the *evaluation* side of that loop:
+
+* :class:`SweepRunner` evaluates every point of a
+  :class:`~repro.core.space.ConfigurationSpace` against one or more
+  images, either serially or across worker processes.  Both executors
+  produce byte-identical results in the deterministic order of the
+  space, so parallelism is purely a wall-clock optimisation.
+* :class:`ResultCache` memoises finished points under
+  ``(image digest, config fingerprint)`` with an in-memory layer and an
+  optional on-disk JSON layer, so re-running a sweep skips
+  already-simulated points the way the paper skips re-synthesis.
+* :func:`best_point` and :func:`pareto_front` are the selection helpers
+  the architecture-exploration loop ends with: fastest point, and the
+  cycles-vs-area frontier from the :class:`~repro.core.synthesis`
+  model.
+
+Per-point wall timing, cache hit/miss counters and a progress callback
+make long sweeps observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import ArchitectureConfig
+from repro.core.sim import Simulator
+from repro.core.synthesis import SynthesisModel
+from repro.toolchain.objfile import Image
+
+#: Bumped whenever the cached record layout changes; stale on-disk
+#: records are treated as misses rather than mis-parsed.
+SCHEMA_VERSION = 1
+
+#: Default instruction budget per simulated point.
+DEFAULT_MAX_INSTRUCTIONS = 20_000_000
+
+ProgressCallback = Callable[[int, int, "SweepPoint"], None]
+
+
+def image_digest(image: Image) -> str:
+    """Stable identity of a linked image (entry + every placed byte)."""
+    h = hashlib.sha256()
+    h.update(image.entry.to_bytes(4, "big"))
+    for base in sorted(image.segments):
+        data = image.segments[base]
+        h.update(base.to_bytes(4, "big"))
+        h.update(len(data).to_bytes(4, "big"))
+        h.update(data)
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated (image, configuration) pair."""
+
+    index: int
+    config: ArchitectureConfig
+    image_digest: str
+    fingerprint: str
+    cycles: int
+    instructions: int
+    instruction_mix: dict
+    dcache: dict
+    icache: dict
+    result_word: int | None
+    uart_hex: str
+    frequency_mhz: float
+    slices: int
+    block_rams: int
+    #: 'simulated' | 'memory' | 'disk' — where this point came from.
+    source: str
+    #: Host seconds spent producing the point (≈0 for cache hits).
+    wall_seconds: float
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Model time at the synthesis model's clock for this config."""
+        return self.cycles / (self.frequency_mhz * 1e6)
+
+    def report_fields(self) -> dict:
+        """Everything the simulation measured — the identity-relevant
+        fields, excluding provenance (``source``) and host timing."""
+        return {
+            "image_digest": self.image_digest,
+            "fingerprint": self.fingerprint,
+            "config_key": self.config.key(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpi": self.cpi,
+            "instruction_mix": dict(self.instruction_mix),
+            "dcache": self.dcache,
+            "icache": self.icache,
+            "result_word": self.result_word,
+            "uart_hex": self.uart_hex,
+            "frequency_mhz": self.frequency_mhz,
+            "slices": self.slices,
+            "block_rams": self.block_rams,
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization of :meth:`report_fields` — equality
+        of these strings is the sweep determinism contract."""
+        return json.dumps(self.report_fields(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def best_point(points: Sequence[SweepPoint],
+               metric: str = "seconds") -> SweepPoint:
+    """The winning point by *metric* ('seconds', 'cycles', 'cpi', ...);
+    ties break toward the earlier point in sweep order."""
+    if not points:
+        raise ValueError("no points to choose from")
+    return min(points, key=lambda p: (getattr(p, metric), p.index))
+
+
+def pareto_front(points: Sequence[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated on (cycles, slices) — the speed/area
+    frontier, smallest-cycles first."""
+    front: list[SweepPoint] = []
+    best_slices = None
+    for point in sorted(points, key=lambda p: (p.cycles, p.slices, p.index)):
+        if best_slices is None or point.slices < best_slices:
+            front.append(point)
+            best_slices = point.slices
+    return front
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Two-layer memo of finished sweep points.
+
+    Layer 1 is a process-local dict; layer 2 (optional) is JSON files
+    under ``cache_dir/<image_digest>/<fingerprint>.json`` so results
+    persist across runs — the same economics as the paper's
+    reconfiguration cache, where everything already synthesized is free.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: dict[tuple[str, str], dict] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, digest: str, fingerprint: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / digest / f"{fingerprint}.json"
+
+    def get(self, digest: str, fingerprint: str) -> tuple[dict, str] | None:
+        """Return ``(record, layer)`` on a hit, ``None`` on a miss."""
+        record = self._memory.get((digest, fingerprint))
+        if record is not None:
+            self.stats.memory_hits += 1
+            return record, "memory"
+        if self.cache_dir is not None:
+            path = self._path(digest, fingerprint)
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                record = None
+            if (isinstance(record, dict)
+                    and record.get("schema") == SCHEMA_VERSION):
+                self._memory[(digest, fingerprint)] = record
+                self.stats.disk_hits += 1
+                return record, "disk"
+        self.stats.misses += 1
+        return None
+
+    def put(self, digest: str, fingerprint: str, record: dict) -> None:
+        self._memory[(digest, fingerprint)] = record
+        self.stats.stores += 1
+        if self.cache_dir is None:
+            return
+        path = self._path(digest, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(record, sort_keys=True, indent=1)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(blob)
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see halves
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (runs in worker processes — must stay module-level picklable)
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_task(task: tuple[ArchitectureConfig, Image, int]
+                   ) -> tuple[dict, float]:
+    """Simulate one point; returns (cacheable record, wall seconds).
+
+    The memory trace is deliberately not captured: sweep points must be
+    small, picklable and JSON-serializable, and the exploration loop
+    only needs the aggregate report.
+    """
+    config, image, max_instructions = task
+    start = time.perf_counter()
+    report = Simulator(config, capture_memory_trace=False).run(
+        image, max_instructions=max_instructions)
+    utilization = SynthesisModel().estimate(config)
+    record = {
+        "schema": SCHEMA_VERSION,
+        "config_key": config.key(),
+        "cycles": report.cycles,
+        "instructions": report.instructions,
+        "instruction_mix": dict(report.instruction_mix),
+        "dcache": report.dcache,
+        "icache": report.icache,
+        "result_word": report.result_word,
+        "uart_hex": report.uart_output.hex(),
+        "frequency_mhz": utilization.frequency_mhz,
+        "slices": utilization.slices,
+        "block_rams": utilization.block_rams,
+    }
+    return record, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    points: int = 0
+    simulated: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "points": self.points, "simulated": self.simulated,
+            "memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "sim_seconds": round(self.sim_seconds, 6),
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """Ordered points plus the counters that prove what was reused."""
+
+    points: list[SweepPoint]
+    stats: SweepStats
+
+    def best_point(self, metric: str = "seconds") -> SweepPoint:
+        return best_point(self.points, metric)
+
+    def pareto_front(self) -> list[SweepPoint]:
+        return pareto_front(self.points)
+
+    def by_key(self) -> dict[str, SweepPoint]:
+        return {point.config.key(): point for point in self.points}
+
+
+class SweepRunner:
+    """Evaluate a configuration space over one or more images.
+
+    ``workers <= 1`` runs serially in-process; ``workers > 1`` fans the
+    uncached points out over a :class:`ProcessPoolExecutor`.  Results
+    come back in the deterministic order of the space regardless of the
+    executor, and both paths produce byte-identical
+    :meth:`SweepPoint.canonical_json` strings.
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache: ResultCache | None = None,
+                 progress: ProgressCallback | None = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def sweep(self, space: Iterable[ArchitectureConfig],
+              images: Image | Sequence[Image],
+              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+              ) -> SweepOutcome:
+        """Evaluate every (image, config) pair; image-major order."""
+        started = time.perf_counter()
+        configs = list(space)
+        if isinstance(images, Image):
+            images = [images]
+        else:
+            images = list(images)
+        if not configs or not images:
+            raise ValueError("sweep needs at least one config and one image")
+
+        # Deterministic work list: (index, image, digest, config, fp).
+        entries = []
+        for image in images:
+            digest = image_digest(image)
+            for config in configs:
+                entries.append((len(entries), image, digest, config,
+                                config.fingerprint()))
+
+        # Resolve cache hits up front; only misses are dispatched.
+        cached: dict[int, tuple[dict, str]] = {}
+        if self.cache is not None:
+            for index, _, digest, _, fingerprint in entries:
+                hit = self.cache.get(digest, fingerprint)
+                if hit is not None:
+                    cached[index] = hit
+        tasks = [(config, image, max_instructions)
+                 for index, image, _, config, _ in entries
+                 if index not in cached]
+
+        fresh = self._evaluate(tasks)
+
+        stats = SweepStats(points=len(entries))
+        points: list[SweepPoint] = []
+        for index, _, digest, config, fingerprint in entries:
+            if index in cached:
+                record, layer = cached[index]
+                wall = 0.0
+                if layer == "memory":
+                    stats.memory_hits += 1
+                else:
+                    stats.disk_hits += 1
+            else:
+                record, wall = next(fresh)
+                stats.simulated += 1
+                stats.sim_seconds += wall
+                layer = "simulated"
+                if self.cache is not None:
+                    self.cache.put(digest, fingerprint, record)
+            point = self._point(index, config, digest, fingerprint,
+                                record, layer, wall)
+            points.append(point)
+            if self.progress is not None:
+                self.progress(len(points), len(entries), point)
+
+        stats.wall_seconds = time.perf_counter() - started
+        return SweepOutcome(points=points, stats=stats)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, tasks):
+        """Yield (record, wall) per task, in task order."""
+        if not tasks:
+            return iter(())
+        if self.workers <= 1:
+            return map(_evaluate_task, tasks)
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(tasks)))
+
+        def results():
+            with pool:
+                # Executor.map preserves submission order, so consuming
+                # it keeps the sweep deterministic while points complete
+                # out of order across workers.
+                yield from pool.map(_evaluate_task, tasks, chunksize=1)
+
+        return results()
+
+    @staticmethod
+    def _point(index: int, config: ArchitectureConfig, digest: str,
+               fingerprint: str, record: dict, source: str,
+               wall_seconds: float) -> SweepPoint:
+        return SweepPoint(
+            index=index,
+            config=config,
+            image_digest=digest,
+            fingerprint=fingerprint,
+            cycles=record["cycles"],
+            instructions=record["instructions"],
+            instruction_mix=dict(record["instruction_mix"]),
+            dcache=record["dcache"],
+            icache=record["icache"],
+            result_word=record["result_word"],
+            uart_hex=record["uart_hex"],
+            frequency_mhz=record["frequency_mhz"],
+            slices=record["slices"],
+            block_rams=record["block_rams"],
+            source=source,
+            wall_seconds=wall_seconds,
+        )

@@ -80,7 +80,8 @@ class ControlPacketProcessor:
             gen.send_to_requester(protocol.encode_restarted())
         elif isinstance(command, LoadChunk):
             received, total = leon.handle_load_chunk(command)
-            gen.send_to_requester(protocol.encode_load_ack(received, total))
+            gen.send_to_requester(protocol.encode_load_ack(
+                received, total, leon.assembler.missing()))
         elif isinstance(command, StartRequest):
             entry = leon.start(command.entry)
             if entry is None:

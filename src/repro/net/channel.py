@@ -74,7 +74,10 @@ class Channel:
             if config.loss and self._rng.random() < config.loss:
                 self.dropped += 1
                 continue
-            if config.corrupt and self._rng.random() < config.corrupt:
+            # A zero-length datagram has no byte to flip; corrupting it
+            # would crash the RNG's integers(0) draw, so it passes clean.
+            if (config.corrupt and len(datagram) > 0
+                    and self._rng.random() < config.corrupt):
                 index = int(self._rng.integers(len(datagram)))
                 mutated = bytearray(datagram)
                 mutated[index] ^= 0xFF

@@ -69,6 +69,11 @@ DEFAULT_CHUNK = 128
 #: Maximum bytes a READ_MEMORY response will carry.
 MAX_READ_BYTES = 1024
 
+#: Maximum missing-chunk sequence numbers a LOAD_ACK will enumerate.
+#: A response listing the first few gaps is enough for the client to
+#: retransmit selectively; the next ack reports whatever remains.
+MAX_ACK_MISSING = 64
+
 
 # ---------------------------------------------------------------------------
 # Command payload codecs
@@ -196,8 +201,21 @@ def encode_status_response(state: LeonState, cycles: int) -> bytes:
     return struct.pack("!BBI", Response.STATUS, state, cycles & 0xFFFF_FFFF)
 
 
-def encode_load_ack(received: int, total: int) -> bytes:
-    return struct.pack("!BHH", Response.LOAD_ACK, received, total)
+def encode_load_ack(received: int, total: int,
+                    missing: tuple[int, ...] = ()) -> bytes:
+    """Ack a LOAD_PROGRAM chunk with reassembly progress.
+
+    The optional *missing* list enumerates sequence numbers the device
+    has not yet seen (capped at :data:`MAX_ACK_MISSING`), letting the
+    client retransmit only lost chunks.  The field trails the original
+    fixed header, so a decoder that only reads (received, total) — the
+    seed wire format — still parses these payloads.
+    """
+    head = struct.pack("!BHH", Response.LOAD_ACK, received, total)
+    listed = tuple(missing)[:MAX_ACK_MISSING]
+    if not listed:
+        return head
+    return head + struct.pack(f"!B{len(listed)}H", len(listed), *listed)
 
 
 def encode_started(entry: int) -> bytes:
@@ -232,6 +250,9 @@ class StatusResponse:
 class LoadAck:
     received: int
     total: int
+    #: Sequence numbers the device reports as not yet received (possibly
+    #: truncated to MAX_ACK_MISSING); empty also for seed-format acks.
+    missing: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -272,7 +293,14 @@ def decode_response(payload: bytes):
         return StatusResponse(LeonState(state), cycles)
     if code == Response.LOAD_ACK:
         received, total = struct.unpack("!HH", payload[1:5])
-        return LoadAck(received, total)
+        missing: tuple[int, ...] = ()
+        if len(payload) > 5:
+            count = payload[5]
+            body = payload[6:6 + 2 * count]
+            if len(body) < 2 * count:
+                raise ProtocolError("truncated LOAD_ACK missing list")
+            missing = struct.unpack(f"!{count}H", body)
+        return LoadAck(received, total, missing)
     if code == Response.STARTED:
         return Started(struct.unpack("!I", payload[1:5])[0])
     if code == Response.RESTARTED:
@@ -342,6 +370,14 @@ class ProgramAssembler:
     @property
     def received(self) -> int:
         return len(self.chunks)
+
+    def missing(self) -> tuple[int, ...]:
+        """Sequence numbers not yet received, ascending (empty until the
+        first chunk announces the total)."""
+        if self.total is None:
+            return ()
+        return tuple(seq for seq in range(self.total)
+                     if seq not in self.chunks)
 
     def base_address(self) -> int:
         if not self.chunks:

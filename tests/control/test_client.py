@@ -1,6 +1,8 @@
 """Control-software tests: client over direct and lossy transports,
 listener console, servlet, hardware emulator."""
 
+import struct
+
 import pytest
 
 from repro.control import (
@@ -106,6 +108,119 @@ class TestClientLossy:
         # Some frames must have been corrupted on the wire and discarded.
         assert transport.to_device.corrupted + transport.to_client.corrupted \
             > 0
+
+
+class ChunkDroppingTransport(DirectTransport):
+    """Direct transport whose wire eats the first transmission of chosen
+    LOAD_PROGRAM sequence numbers (they still count as sent)."""
+
+    def __init__(self, device, device_ip, device_port, drop_seqs=()):
+        super().__init__(device, device_ip, device_port)
+        self._drop = set(drop_seqs)
+
+    def send(self, payload):
+        from repro.net.protocol import Command
+
+        frame = self._frame_for(payload)
+        if payload and payload[0] == Command.LOAD_PROGRAM:
+            seq = struct.unpack("!H", payload[1:3])[0]
+            if seq in self._drop:
+                self._drop.discard(seq)
+                return
+        self.device.inject_frame(frame)
+
+
+class TestSelectiveRetransmission:
+    """Regression: load_binary used to resend the *entire* payload set
+    on every retry and to under-count nudge transmissions."""
+
+    BASE = 0x4000_1000
+
+    def _load(self, drop_seqs, blob=bytes(range(32)), chunk=4):
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        transport = ChunkDroppingTransport(emulator, "128.252.153.2", 2000,
+                                           drop_seqs)
+        client = LiquidClient(transport)
+        transmissions = client.load_binary(self.BASE, blob, chunk)
+        return transmissions, transport, emulator, blob
+
+    def test_lossless_load_sends_each_chunk_exactly_once(self):
+        transmissions, transport, emulator, blob = self._load(drop_seqs=())
+        assert transmissions == 8
+        assert transmissions == transport.sent_payloads
+        offset = self.BASE - emulator.memory_base
+        assert bytes(emulator.memory[offset:offset + len(blob)]) == blob
+
+    def test_retry_resends_only_the_lost_chunks(self):
+        transmissions, transport, emulator, blob = self._load(
+            drop_seqs={3, 5})
+        # 8 first-round sends + exactly the 2 lost chunks again.
+        assert transmissions == 10
+        offset = self.BASE - emulator.memory_base
+        assert bytes(emulator.memory[offset:offset + len(blob)]) == blob
+
+    def test_transmission_count_matches_the_wire(self):
+        transmissions, transport, _, _ = self._load(drop_seqs={0, 6, 7})
+        assert transmissions == transport.sent_payloads == 11
+
+    def test_load_gives_up_when_nothing_arrives(self):
+        class BlackHole(DirectTransport):
+            def send(self, payload):
+                self._frame_for(payload)  # swallowed
+
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        transport = BlackHole(emulator, "128.252.153.2", 2000)
+        client = LiquidClient(transport, max_retries=2, poll_rounds=2)
+        from repro.control import ControlTimeout
+
+        with pytest.raises(ControlTimeout):
+            client.load_binary(self.BASE, b"\x01\x02\x03\x04")
+
+
+class TestTransportDropCounters:
+    """Regression: _unwrap_responses silently swallowed bad frames;
+    now they are counted and exposed alongside the payload counters."""
+
+    def _transport(self, platform):
+        return DirectTransport(platform, platform.config.device_ip,
+                               platform.config.control_port)
+
+    def test_corrupt_frame_counted(self, platform):
+        transport = self._transport(platform)
+        assert transport._unwrap_responses([b"\xde\xad\xbe\xef"]) == []
+        assert transport.dropped_corrupt == 1
+        assert transport.received_payloads == 0
+
+    def test_misaddressed_frame_counted(self, platform):
+        from repro.net.packets import build_udp_packet, parse_ip
+
+        transport = self._transport(platform)
+        stranger = build_udp_packet(
+            transport.device_ip, parse_ip("10.0.0.1"),
+            transport.device_port, 9999, b"not for us")
+        assert transport._unwrap_responses([stranger]) == []
+        assert transport.dropped_misaddressed == 1
+
+    def test_stats_exposes_all_counters(self, platform):
+        transport = self._transport(platform)
+        stats = transport.stats()
+        assert set(stats) == {"sent_payloads", "received_payloads",
+                              "dropped_corrupt", "dropped_misaddressed"}
+
+    def test_lossy_corruption_shows_up_in_drop_counter(self, platform):
+        transport = LossyTransport(platform, platform.config.device_ip,
+                                   platform.config.control_port,
+                                   channel_config=ChannelConfig(corrupt=0.3),
+                                   seed=123)
+        client = LiquidClient(transport)
+        result = client.run_image(make_image(9),
+                                  result_addr=DEFAULT_MAP.result_addr)
+        assert result.result_word == 9
+        # Frames corrupted on the device->client channel must be counted,
+        # not silently discarded.
+        if transport.to_client.corrupted:
+            assert transport.dropped_corrupt > 0
+        assert transport.dropped_corrupt <= transport.to_client.corrupted
 
 
 class TestServlet:

@@ -1,0 +1,232 @@
+"""Sweep engine tests: determinism across executors, the two-layer
+result cache, selection helpers, and config/image identity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import (
+    ArchitectureConfig,
+    ConfigurationSpace,
+    ResultCache,
+    SweepRunner,
+    best_point,
+    image_digest,
+    pareto_front,
+)
+from repro.toolchain.driver import compile_c_program
+
+# A miniature Figure-7-shaped kernel: strided array access, small enough
+# that one simulation is milliseconds, with the same knee behaviour.
+KERNEL = """
+unsigned count[1024];
+
+int main(void) {
+    unsigned i;
+    volatile unsigned x;
+    for (i = 0; i < 2000; i = i + 32) {
+        x = count[i % 1024];
+    }
+    return 7;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return compile_c_program(KERNEL)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigurationSpace.paper_cache_sweep()
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(image, space):
+    return SweepRunner().sweep(space, image)
+
+
+class TestIdentity:
+    def test_fingerprint_stable_across_equal_configs(self):
+        a = ArchitectureConfig().with_dcache_size(2048)
+        b = ArchitectureConfig().with_dcache_size(2048)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_every_point(self, space):
+        fingerprints = [config.fingerprint() for config in space]
+        assert len(set(fingerprints)) == space.size
+
+    def test_fingerprint_sees_fields_key_ignores(self):
+        """key() names extensions only by name; the fingerprint must
+        also see their cost fields."""
+        from repro.core import ExtensionSpec
+
+        cheap = ArchitectureConfig(extensions=(
+            ExtensionSpec("mac", opf=0x10, cycles=1),))
+        slow = ArchitectureConfig(extensions=(
+            ExtensionSpec("mac", opf=0x10, cycles=4),))
+        assert cheap.key() == slow.key()
+        assert cheap.fingerprint() != slow.fingerprint()
+
+    def test_image_digest_tracks_content(self, image):
+        assert image_digest(image) == image_digest(image)
+        other = compile_c_program(KERNEL.replace("return 7", "return 8"))
+        assert image_digest(other) != image_digest(image)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, image, space,
+                                                   serial_outcome):
+        """The satellite contract: a parallel sweep over the paper's
+        cache sweep returns exactly the same SimReport fields (cycles,
+        CPI, cache stats, ...) as the serial sweep, in the same order."""
+        parallel = SweepRunner(workers=2).sweep(space, image)
+        assert [p.canonical_json() for p in parallel.points] \
+            == [p.canonical_json() for p in serial_outcome.points]
+        assert [p.config for p in parallel.points] == list(space)
+
+    def test_points_carry_simreport_fields(self, serial_outcome):
+        for point in serial_outcome.points:
+            assert point.cycles > 0
+            assert point.instructions > 0
+            assert point.cpi == point.cycles / point.instructions
+            assert point.dcache["read_misses"] >= 0
+            assert point.icache["read_hits"] > 0
+            assert point.result_word == 7
+            assert point.source == "simulated"
+
+    def test_paper_knee_shape(self, serial_outcome):
+        cycles = {p.config.dcache.size: p.cycles
+                  for p in serial_outcome.points}
+        assert cycles[1024] == cycles[2048]
+        assert cycles[4096] < cycles[1024]
+        assert cycles[4096] == cycles[8192] == cycles[16384]
+
+
+class TestResultCache:
+    def test_second_run_is_all_memory_hits(self, image, space):
+        cache = ResultCache()
+        runner = SweepRunner(cache=cache)
+        first = runner.sweep(space, image)
+        second = runner.sweep(space, image)
+        assert first.stats.simulated == space.size
+        assert second.stats.simulated == 0
+        assert second.stats.memory_hits == space.size
+        assert cache.stats.misses == space.size
+        assert cache.stats.memory_hits == space.size
+        assert [p.canonical_json() for p in first.points] \
+            == [p.canonical_json() for p in second.points]
+        assert all(p.source == "memory" for p in second.points)
+
+    def test_disk_layer_survives_new_process_state(self, image, space,
+                                                   tmp_path):
+        first = SweepRunner(cache=ResultCache(tmp_path)).sweep(space, image)
+        # A brand-new cache object sees only the on-disk layer — the
+        # "restart the tool, keep the results" economics.
+        cache = ResultCache(tmp_path)
+        second = SweepRunner(cache=cache).sweep(space, image)
+        assert second.stats.simulated == 0
+        assert second.stats.disk_hits == space.size
+        assert all(p.source == "disk" for p in second.points)
+        assert [p.canonical_json() for p in first.points] \
+            == [p.canonical_json() for p in second.points]
+
+    def test_disk_layout_is_digest_then_fingerprint(self, image, space,
+                                                    tmp_path):
+        SweepRunner(cache=ResultCache(tmp_path)).sweep(space, image)
+        digest_dir = tmp_path / image_digest(image)
+        assert digest_dir.is_dir()
+        files = sorted(digest_dir.glob("*.json"))
+        assert len(files) == space.size
+        record = json.loads(files[0].read_text())
+        assert record["schema"] == 1
+        assert record["cycles"] > 0
+
+    def test_corrupt_disk_record_is_a_miss(self, image, tmp_path):
+        config = ArchitectureConfig()
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).sweep([config], image)
+        path = tmp_path / image_digest(image) / f"{config.fingerprint()}.json"
+        path.write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        outcome = SweepRunner(cache=fresh).sweep([config], image)
+        assert outcome.stats.simulated == 1
+        assert fresh.stats.misses == 1
+
+    def test_cache_distinguishes_images(self, image, tmp_path):
+        other = compile_c_program(KERNEL.replace("return 7", "return 9"))
+        cache = ResultCache(tmp_path)
+        config = ArchitectureConfig()
+        SweepRunner(cache=cache).sweep([config], image)
+        outcome = SweepRunner(cache=cache).sweep([config], other)
+        assert outcome.stats.simulated == 1
+        assert outcome.points[0].result_word == 9
+
+
+class TestObservability:
+    def test_progress_callback_order_and_counts(self, image, space):
+        seen = []
+        runner = SweepRunner(
+            workers=2,
+            progress=lambda done, total, point: seen.append(
+                (done, total, point.config.dcache.size)))
+        runner.sweep(space, image)
+        sizes = [config.dcache.size for config in space]
+        assert seen == [(i + 1, space.size, size)
+                        for i, size in enumerate(sizes)]
+
+    def test_per_point_timing_recorded(self, serial_outcome):
+        assert all(p.wall_seconds > 0 for p in serial_outcome.points)
+        assert serial_outcome.stats.sim_seconds > 0
+        assert serial_outcome.stats.wall_seconds > 0
+
+
+class TestSelection:
+    def test_best_point_by_cycles_and_seconds(self, serial_outcome):
+        fastest = serial_outcome.best_point("cycles")
+        assert fastest.cycles == min(p.cycles
+                                     for p in serial_outcome.points)
+        # Ties on cycles break toward the earlier (4 KB) point.
+        assert fastest.config.dcache.size == 4096
+        by_seconds = best_point(serial_outcome.points, "seconds")
+        assert by_seconds.seconds == min(p.seconds
+                                         for p in serial_outcome.points)
+
+    def test_pareto_front_cycles_vs_area(self, serial_outcome):
+        front = pareto_front(serial_outcome.points)
+        # 2/8/16 KB are dominated (same cycles as a smaller cache,
+        # more slices); the frontier is the knee and the smallest cache.
+        assert {p.config.dcache.size for p in front} == {1024, 4096}
+        for point in front:
+            for other in serial_outcome.points:
+                dominates = (other.cycles <= point.cycles
+                             and other.slices <= point.slices
+                             and (other.cycles < point.cycles
+                                  or other.slices < point.slices))
+                assert not dominates
+
+    def test_best_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_point([])
+
+
+class TestInputs:
+    def test_accepts_plain_config_list_and_many_images(self, image):
+        other = compile_c_program(KERNEL.replace("return 7", "return 11"))
+        configs = [ArchitectureConfig(),
+                   ArchitectureConfig().with_dcache_size(2048)]
+        outcome = SweepRunner().sweep(configs, [image, other])
+        assert len(outcome.points) == 4
+        # Image-major deterministic order.
+        assert [p.result_word for p in outcome.points] == [7, 7, 11, 11]
+        assert [p.index for p in outcome.points] == [0, 1, 2, 3]
+
+    def test_empty_sweep_rejected(self, image):
+        with pytest.raises(ValueError):
+            SweepRunner().sweep([], image)
+
+    def test_points_are_immutable_records(self, serial_outcome):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            serial_outcome.points[0].cycles = 0

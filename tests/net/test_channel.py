@@ -34,6 +34,33 @@ class TestPerfectChannel:
         assert stats["dropped"] == 0
 
 
+class TestZeroLengthDatagrams:
+    """Regression: corrupting an empty datagram used to crash deliver()
+    with ``ValueError`` from ``rng.integers(0)``."""
+
+    def test_empty_datagram_survives_certain_corruption(self):
+        channel = Channel(ChannelConfig(corrupt=1.0), seed=3)
+        channel.send(b"")
+        assert channel.deliver() == [b""]
+        assert channel.corrupted == 0
+
+    def test_empty_datagrams_mixed_with_real_traffic(self):
+        channel = Channel(ChannelConfig(corrupt=1.0), seed=3)
+        channel.send(b"")
+        channel.send(b"payload")
+        channel.send(b"")
+        delivered = channel.deliver()
+        assert delivered[0] == b"" and delivered[2] == b""
+        assert delivered[1] != b"payload"  # the real one was corrupted
+        assert channel.corrupted == 1
+
+    def test_empty_datagram_other_faults_still_apply(self):
+        channel = Channel(ChannelConfig(loss=1.0, corrupt=1.0), seed=3)
+        channel.send(b"")
+        assert channel.deliver() == []
+        assert channel.dropped == 1
+
+
 class TestFaults:
     def test_loss_drops_roughly_the_configured_fraction(self):
         channel = Channel(ChannelConfig(loss=0.3), seed=42)

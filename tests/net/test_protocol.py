@@ -103,6 +103,35 @@ class TestResponseCodecs:
         assert decode_response(protocol.encode_started(0x40001000)).entry \
             == 0x40001000
 
+    def test_load_ack_missing_list_roundtrip(self):
+        ack = decode_response(protocol.encode_load_ack(5, 8, (2, 4, 6)))
+        assert (ack.received, ack.total, ack.missing) == (5, 8, (2, 4, 6))
+
+    def test_load_ack_seed_format_still_decodes(self):
+        """The 5-byte seed wire format (no missing list) must keep
+        parsing: it is what pre-fix devices emit."""
+        import struct
+
+        payload = struct.pack("!BHH", Response.LOAD_ACK, 3, 7)
+        ack = decode_response(payload)
+        assert (ack.received, ack.total, ack.missing) == (3, 7, ())
+
+    def test_load_ack_empty_missing_is_wire_identical_to_seed(self):
+        assert protocol.encode_load_ack(7, 7, ()) == \
+            protocol.encode_load_ack(7, 7)
+        assert len(protocol.encode_load_ack(7, 7)) == 5
+
+    def test_load_ack_missing_list_is_capped(self):
+        ack = decode_response(protocol.encode_load_ack(
+            0, 500, tuple(range(500))))
+        assert len(ack.missing) == protocol.MAX_ACK_MISSING
+        assert ack.missing == tuple(range(protocol.MAX_ACK_MISSING))
+
+    def test_load_ack_truncated_missing_list_rejected(self):
+        payload = protocol.encode_load_ack(1, 4, (2, 3))
+        with pytest.raises(ProtocolError):
+            decode_response(payload[:-1])
+
     def test_response_codes_have_top_bit(self):
         for code in Response:
             assert code.value & 0x80
@@ -159,6 +188,18 @@ class TestProgramAssembler:
         blob = bytes(range(count * 16))
         return [decode_command(p)
                 for p in packetize_program(0x4000_1000, blob, chunk=16)]
+
+    def test_missing_tracks_gaps(self):
+        chunks = self._chunks(4)
+        assembler = ProgramAssembler()
+        assert assembler.missing() == ()  # total unknown yet
+        assembler.add(chunks[1])
+        assert assembler.missing() == (0, 2, 3)
+        assembler.add(chunks[3])
+        assert assembler.missing() == (0, 2)
+        for chunk in (chunks[0], chunks[2]):
+            assembler.add(chunk)
+        assert assembler.missing() == ()
 
     def test_out_of_order_completion(self):
         chunks = self._chunks(4)
