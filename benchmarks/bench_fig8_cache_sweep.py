@@ -78,3 +78,21 @@ def test_fig8_table_and_shape(benchmark, sweep_cycles):
     print(f"\nknee improvement: {improvement:.1%} "
           f"({cycles[1024]} -> {cycles[4096]} cycles)")
     assert improvement > 0.10
+
+
+def test_fig8_obs_report(benchmark, fig8_outcome):
+    """Telemetry view of the knee: render the 4 KB point's program-window
+    snapshot and its delta against the thrashing 1 KB point — the
+    cache-miss series must explain the cycle drop."""
+    from repro.obs.report import diff_reports, render_text
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_size = {p.config.dcache.size: p for p in fig8_outcome.points}
+    knee, thrash = by_size[4096], by_size[1024]
+    print("\n" + render_text(knee.obs, title="fig8 knee point (4KB dcache)"))
+    print("\n" + diff_reports(knee.obs, thrash.obs,
+                              title="4KB - 1KB delta"))
+    knee_misses = knee.obs["counters"]["cache.read_misses{cache=dcache}"]
+    thrash_misses = thrash.obs["counters"]["cache.read_misses{cache=dcache}"]
+    assert knee_misses < thrash_misses
+    assert knee.obs["counters"]["pipeline.cycles"] == knee.cycles

@@ -66,6 +66,7 @@ class AhbBus:
         self.transfers = 0
         self.burst_transfers = 0
         self.data_beats = 0
+        self.wait_states = 0
         self.error_count = 0
 
     # -- topology ------------------------------------------------------------
@@ -103,6 +104,7 @@ class AhbBus:
         value, waits = mapping.slave.read(address, size)
         self.transfers += 1
         self.data_beats += 1
+        self.wait_states += waits
         return value, self._overhead() + 1 + waits
 
     def write(self, address: int, size: int, value: int) -> int:
@@ -110,6 +112,7 @@ class AhbBus:
         waits = mapping.slave.write(address, size, value)
         self.transfers += 1
         self.data_beats += 1
+        self.wait_states += waits
         return self._overhead() + 1 + waits
 
     def read_burst(self, address: int, nwords: int) -> tuple[list[int], int]:
@@ -130,6 +133,7 @@ class AhbBus:
         native = getattr(mapping.slave, "read_burst", None)
         if native is not None:
             words, waits = native(address, nwords)
+            self.wait_states += waits
             return words, self._overhead() + nwords + waits
         words = []
         waits_total = 0
@@ -137,6 +141,7 @@ class AhbBus:
             word, waits = mapping.slave.read(address + 4 * i, 4)
             words.append(word)
             waits_total += waits
+        self.wait_states += waits_total
         return words, self._overhead() + nwords + waits_total
 
     def write_burst(self, address: int, words: list[int]) -> int:
@@ -151,6 +156,7 @@ class AhbBus:
             self.burst_transfers += 1
             self.data_beats += len(words)
             waits = native(address, words)
+            self.wait_states += waits
             return self._overhead() + len(words) + waits
         cycles = 0
         for i, word in enumerate(words):

@@ -65,6 +65,12 @@ class CacheController:
                              else geometry.sets * geometry.ways)
         self.fill_count = 0
         self.bypass_count = 0
+        # Miss-latency distribution, bucketed by bit length (bucket i
+        # holds misses costing 2**(i-1)..2**i - 1 cycles); repro.obs
+        # publishes this as the cache.miss_cycles histogram.  Native
+        # list-of-ints so the miss path pays a bit_length + two adds.
+        self.miss_cycle_buckets = [0] * 16
+        self.miss_cycles_sum = 0
         self.prefetcher = make_prefetcher(prefetch, geometry.line_size)
         # Line bases brought in speculatively but not yet demanded.
         self._speculative: set[int] = set()
@@ -95,6 +101,9 @@ class CacheController:
         self.cache.stats.read_hits -= 1
         assert value is not None, "line fill must make the address resident"
         cycles += self._maybe_prefetch(address)
+        bucket = cycles.bit_length()
+        self.miss_cycle_buckets[bucket if bucket < 15 else 15] += 1
+        self.miss_cycles_sum += cycles
         return value, cycles
 
     def write(self, address: int, size: int, value: int) -> int:

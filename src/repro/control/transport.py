@@ -88,6 +88,14 @@ class _TransportBase:
             "dropped_misaddressed": self.dropped_misaddressed,
         }
 
+    def publish_obs(self, registry) -> None:
+        """Publish delivery accounting as ``transport.*`` series (plus
+        per-direction ``channel.*`` fault counters on lossy transports)
+        into a :class:`repro.obs.MetricsRegistry`."""
+        from repro.obs.collect import collect_transport
+
+        collect_transport(self, registry)
+
     # -- device-driving helpers -------------------------------------------
 
     def run_device_program(self, max_instructions: int = 50_000_000):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 import numpy as np
 
@@ -44,6 +45,8 @@ from repro.mem.memmap import (
     MemoryMap,
 )
 from repro.mem.sram import SramBank
+from repro.obs.collect import point_snapshot, simulator_snapshot
+from repro.obs.events import EventTrace
 from repro.peripherals import Clock, CycleCounter, LedPort, Uart
 from repro.toolchain.objfile import Image
 
@@ -88,6 +91,11 @@ class SimReport:
     memory_trace: MemoryTrace
     result_word: int | None
     uart_output: bytes
+    #: Program-window metrics snapshot (repro.obs schema: counters /
+    #: gauges / histograms), covering exactly the measured execution —
+    #: the same window the FPX cycle counter arms over.  Empty when the
+    #: simulator was built with ``obs=False``.
+    obs: dict = dataclass_field(default_factory=dict)
 
     @property
     def cpi(self) -> float:
@@ -113,7 +121,8 @@ class Simulator:
     """Standalone Liquid processor system (no network, no leon_ctrl)."""
 
     def __init__(self, config: ArchitectureConfig | None = None,
-                 capture_memory_trace: bool = True, recipes=None):
+                 capture_memory_trace: bool = True, recipes=None,
+                 obs: bool = True):
         self.config = config or ArchitectureConfig()
         cfg = self.config
         self.memmap = MemoryMap()
@@ -133,7 +142,7 @@ class Simulator:
         self.sram = SramBank(memmap.sram_base, memmap.sram_size)
         self.bus.attach(self.sram, memmap.sram_base, memmap.sram_size,
                         "sram")
-        apb = ApbBridge(memmap.apb_base)
+        self.apb = apb = ApbBridge(memmap.apb_base)
         apb.attach(self.uart, UART_OFFSET, 0x10, "uart")
         apb.attach(self.leds, IOPORT_OFFSET, 0x10, "ioport")
         apb.attach(self.cycle_counter, CYCLE_COUNTER_OFFSET, 0x10,
@@ -152,6 +161,14 @@ class Simulator:
         self.recorder = TraceRecorder() if capture_memory_trace else None
         if self.recorder is not None:
             self.recorder.attach(self.dcache)
+
+        # Telemetry (repro.obs): cycle-stamped control-plane events plus
+        # per-point metrics snapshots.  Disabled, both are no-ops.
+        self.obs_enabled = obs
+        self.events = EventTrace(enabled=obs)
+        if obs:
+            self.cpu.on_trap = lambda tt, pc: self.events.record(
+                self.cpu.cycles, "trap", tt=tt, pc=pc)
 
     # ------------------------------------------------------------------
 
@@ -182,8 +199,14 @@ class Simulator:
         mix.clear()
         if self.recorder is not None:
             self.recorder.clear()
+        before = simulator_snapshot(self) if self.obs_enabled else None
+        self.events.record(cpu.cycles, "dispatch", entry=image.entry)
         cpu.run(max_instructions=max_instructions, until_pc=poll)
         cpu.on_retire = None
+        self.events.record(cpu.cycles, "done",
+                           cycles=cpu.cycles - start_cycles)
+        obs = (point_snapshot(simulator_snapshot(self), before)
+               if self.obs_enabled else {})
 
         # Clear the mailbox so the polling loop parks instead of
         # re-dispatching (leon_ctrl's job on the real platform).
@@ -203,6 +226,7 @@ class Simulator:
             memory_trace=trace,
             result_word=self.sram.host_read_word(self.memmap.result_addr),
             uart_output=self.uart.transmitted(),
+            obs=obs,
         )
 
 

@@ -38,11 +38,13 @@ from typing import Callable, Iterable, Sequence
 from repro.core.config import ArchitectureConfig
 from repro.core.sim import Simulator
 from repro.core.synthesis import SynthesisModel
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.toolchain.objfile import Image
 
 #: Bumped whenever the cached record layout changes; stale on-disk
 #: records are treated as misses rather than mis-parsed.
-SCHEMA_VERSION = 1
+#: v2: records carry the per-point ``obs`` metrics snapshot.
+SCHEMA_VERSION = 2
 
 #: Default instruction budget per simulated point.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
@@ -85,6 +87,10 @@ class SweepPoint:
     frequency_mhz: float
     slices: int
     block_rams: int
+    #: Program-window metrics snapshot (repro.obs schema).  Built purely
+    #: from simulation-derived counters, so it is part of the
+    #: determinism contract and persists with the cached record.
+    obs: dict
     #: 'simulated' | 'memory' | 'disk' — where this point came from.
     source: str
     #: Host seconds spent producing the point (≈0 for cache hits).
@@ -117,6 +123,7 @@ class SweepPoint:
             "frequency_mhz": self.frequency_mhz,
             "slices": self.slices,
             "block_rams": self.block_rams,
+            "obs": self.obs,
         }
 
     def canonical_json(self) -> str:
@@ -253,6 +260,7 @@ def _evaluate_task(task: tuple[ArchitectureConfig, Image, int]
         "frequency_mhz": utilization.frequency_mhz,
         "slices": utilization.slices,
         "block_rams": utilization.block_rams,
+        "obs": report.obs,
     }
     return record, time.perf_counter() - start
 
@@ -313,12 +321,17 @@ class SweepRunner:
 
     def __init__(self, workers: int = 0,
                  cache: ResultCache | None = None,
-                 progress: ProgressCallback | None = None):
+                 progress: ProgressCallback | None = None,
+                 obs: MetricsRegistry | None = None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        # Host-side sweep telemetry (wall time, cache reuse, worker
+        # utilization).  Never persisted into point records — those hold
+        # only simulation-derived series, keeping them deterministic.
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
 
@@ -372,6 +385,8 @@ class SweepRunner:
                 stats.simulated += 1
                 stats.sim_seconds += wall
                 layer = "simulated"
+                self.obs.histogram("sweep.point_wall_ms").observe(
+                    int(wall * 1000))
                 if self.cache is not None:
                     self.cache.put(digest, fingerprint, record)
             point = self._point(index, config, digest, fingerprint,
@@ -381,7 +396,20 @@ class SweepRunner:
                 self.progress(len(points), len(entries), point)
 
         stats.wall_seconds = time.perf_counter() - started
+        self._publish_obs(stats)
         return SweepOutcome(points=points, stats=stats)
+
+    def _publish_obs(self, stats: SweepStats) -> None:
+        obs = self.obs
+        obs.counter("sweep.points").inc(stats.points)
+        obs.counter("sweep.simulated").inc(stats.simulated)
+        obs.counter("sweep.memory_hits").inc(stats.memory_hits)
+        obs.counter("sweep.disk_hits").inc(stats.disk_hits)
+        obs.gauge("sweep.workers").set(self.workers)
+        if stats.simulated and stats.wall_seconds > 0:
+            lanes = max(self.workers, 1)
+            obs.gauge("sweep.worker_utilization").set(round(
+                stats.sim_seconds / (stats.wall_seconds * lanes), 6))
 
     # ------------------------------------------------------------------
 
@@ -421,6 +449,7 @@ class SweepRunner:
             frequency_mhz=record["frequency_mhz"],
             slices=record["slices"],
             block_rams=record["block_rams"],
+            obs=record.get("obs", {}),
             source=source,
             wall_seconds=wall_seconds,
         )

@@ -70,6 +70,16 @@ class IntegerUnit:
         self.instret = 0
         self.trap_count = 0
 
+        # Stall/flush accounting (collected by repro.obs into the
+        # pipeline.* series).  Native ints so the hot loop pays one
+        # integer add, not an instrument call.
+        self.fetch_stall_cycles = 0   # I-side wait cycles (FE stalls)
+        self.mem_stall_cycles = 0     # D-side wait cycles (ME stalls)
+        self.annulled_slots = 0       # fetched-but-annulled delay slots
+        self.taken_ctis = 0           # taken control transfers
+        self.cti_penalty_cycles = 0   # redirect bubbles beyond the slot
+        self.pipeline_flushes = 0     # trap entries that drained the pipe
+
         # Liquid Architecture custom-instruction extension points (CPop1
         # opf -> handler).  Populated by repro.core.rewriter / examples.
         self.extensions: dict[int, Callable[[IntegerUnit, DecodedInstruction], None]] = {}
@@ -106,6 +116,13 @@ class IntegerUnit:
         self.cycles = 0
         self.instret = 0
         self.trap_count = 0
+        self.fetch_stall_cycles = 0
+        self.mem_stall_cycles = 0
+        self.annulled_slots = 0
+        self.taken_ctis = 0
+        self.cti_penalty_cycles = 0
+        self.pipeline_flushes = 0
+        self.pipeline.interlock_stalls = 0
         self._transfer_target = None
         self._mem_extra = 0
 
@@ -203,6 +220,8 @@ class IntegerUnit:
             self.pc = self.npc
             self.npc = u32(self.npc + 4)
             cycles = fetch_extra + self.pipeline.timing.annulled_slot_cycles
+            self.fetch_stall_cycles += fetch_extra
+            self.annulled_slots += 1
             self.cycles += cycles
             return cycles
 
@@ -214,6 +233,7 @@ class IntegerUnit:
             self._dispatch(inst)
         except traps.TrapException as trap:
             cycles = fetch_extra + self._enter_trap(trap)
+            self.fetch_stall_cycles += fetch_extra
             self.cycles += cycles
             return cycles
 
@@ -226,6 +246,10 @@ class IntegerUnit:
         cycles = fetch_extra + self.pipeline.issue_cycles(inst) + self._mem_extra
         if taken_cti:
             cycles += self.pipeline.timing.taken_cti_penalty
+            self.taken_ctis += 1
+            self.cti_penalty_cycles += self.pipeline.timing.taken_cti_penalty
+        self.fetch_stall_cycles += fetch_extra
+        self.mem_stall_cycles += self._mem_extra
         self.cycles += cycles
         self.instret += 1
         if self.on_retire is not None:
@@ -304,6 +328,7 @@ class IntegerUnit:
             self.error_tt = trap.tt
             raise traps.ErrorMode(trap.tt, self.pc)
         self.trap_count += 1
+        self.pipeline_flushes += 1
         if self.on_trap is not None:
             self.on_trap(trap.tt, self.pc)
         ctrl.et = False

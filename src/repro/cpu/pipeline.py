@@ -85,6 +85,8 @@ class PipelineModel:
     def __init__(self, timing: TimingConfig | None = None):
         self.timing = timing or TimingConfig()
         self._last_load_rd: int | None = None
+        #: Load-use bubbles charged (the repro.obs pipeline-stall series).
+        self.interlock_stalls = 0
 
     def reset(self) -> None:
         self._last_load_rd = None
@@ -102,6 +104,7 @@ class PipelineModel:
             rd = self._last_load_rd
             if rd != 0 and self._reads_register(inst, rd):
                 cycles += 1
+                self.interlock_stalls += 1
         self._last_load_rd = None
         if inst.op == OP_MEM:
             op3 = inst.op3

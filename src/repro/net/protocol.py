@@ -284,36 +284,60 @@ class ErrorResponse:
     message: str
 
 
+def _unpack(fmt: str, payload: bytes, offset: int, what: str) -> tuple:
+    """``struct.unpack`` with an explicit length check.
+
+    Responses arrive off an unreliable channel, so a short datagram is a
+    protocol condition (:class:`ProtocolError`), never a
+    ``struct.error``/``IndexError`` leaking out of the decoder.
+    """
+    end = offset + struct.calcsize(fmt)
+    if len(payload) < end:
+        raise ProtocolError(f"truncated {what}")
+    return struct.unpack(fmt, payload[offset:end])
+
+
 def decode_response(payload: bytes):
     if not payload:
         raise ProtocolError("empty response payload")
     code = payload[0]
     if code == Response.STATUS:
-        state, cycles = struct.unpack("!BI", payload[1:6])
-        return StatusResponse(LeonState(state), cycles)
+        state, cycles = _unpack("!BI", payload, 1, "STATUS")
+        try:
+            leon_state = LeonState(state)
+        except ValueError:
+            raise ProtocolError(f"unknown LEON state {state}") from None
+        return StatusResponse(leon_state, cycles)
     if code == Response.LOAD_ACK:
-        received, total = struct.unpack("!HH", payload[1:5])
+        received, total = _unpack("!HH", payload, 1, "LOAD_ACK")
         missing: tuple[int, ...] = ()
         if len(payload) > 5:
             count = payload[5]
-            body = payload[6:6 + 2 * count]
-            if len(body) < 2 * count:
-                raise ProtocolError("truncated LOAD_ACK missing list")
-            missing = struct.unpack(f"!{count}H", body)
+            missing = _unpack(f"!{count}H", payload, 6,
+                              "LOAD_ACK missing list")
         return LoadAck(received, total, missing)
     if code == Response.STARTED:
-        return Started(struct.unpack("!I", payload[1:5])[0])
+        return Started(_unpack("!I", payload, 1, "STARTED")[0])
     if code == Response.RESTARTED:
         return Restarted()
     if code == Response.TRACE_DATA:
-        total, offset, length = struct.unpack("!IIH", payload[1:11])
-        return TraceData(total, offset, payload[11:11 + length])
+        total, offset, length = _unpack("!IIH", payload, 1, "TRACE_DATA")
+        data = payload[11:11 + length]
+        if len(data) < length:
+            raise ProtocolError("TRACE_DATA shorter than its length field")
+        return TraceData(total, offset, data)
     if code == Response.MEMORY_DATA:
-        address, length = struct.unpack("!IH", payload[1:7])
-        return MemoryData(address, payload[7:7 + length])
+        address, length = _unpack("!IH", payload, 1, "MEMORY_DATA")
+        data = payload[7:7 + length]
+        if len(data) < length:
+            raise ProtocolError("MEMORY_DATA shorter than its length field")
+        return MemoryData(address, data)
     if code == Response.ERROR:
-        err, length = struct.unpack("!BB", payload[1:3])
-        return ErrorResponse(err, payload[3:3 + length].decode(errors="replace"))
+        err, length = _unpack("!BB", payload, 1, "ERROR")
+        text = payload[3:3 + length]
+        if len(text) < length:
+            raise ProtocolError("ERROR shorter than its length field")
+        return ErrorResponse(err, text.decode(errors="replace"))
     raise ProtocolError(f"unknown response code 0x{code:02x}")
 
 

@@ -1,0 +1,59 @@
+"""repro.obs — unified telemetry: metrics registry + event trace.
+
+One schema and one export path for everything the repro measures, the
+software analogue of the paper's observability hardware (the FPX cycle
+counter, the streamed instrumented traces, the Trace Analyzer):
+
+* :class:`MetricsRegistry` — counters, gauges and histograms with
+  labeled series; cheap no-op instruments when disabled; deterministic
+  snapshot/diff (cycle-derived values only, never wall-clock).
+* :class:`EventTrace` — bounded ring of cycle-stamped typed events with
+  JSON-lines export.
+* :mod:`repro.obs.collect` — folds the hot layers' native counters
+  (pipeline stalls, cache hits/misses, bus wait states, transport
+  drops) into a registry at snapshot boundaries.
+* :mod:`repro.obs.report` — text/JSON rendering and run-vs-run diffs.
+"""
+
+from repro.obs.collect import (
+    collect_ahb,
+    collect_apb,
+    collect_cache,
+    collect_pipeline,
+    collect_transport,
+    point_snapshot,
+    simulator_snapshot,
+)
+from repro.obs.events import Event, EventTrace
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    series_key,
+)
+from repro.obs.report import diff_reports, render_json, render_text
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "collect_ahb",
+    "collect_apb",
+    "collect_cache",
+    "collect_pipeline",
+    "collect_transport",
+    "diff_reports",
+    "diff_snapshots",
+    "point_snapshot",
+    "render_json",
+    "render_text",
+    "series_key",
+    "simulator_snapshot",
+]

@@ -1,0 +1,195 @@
+"""Collectors: fold the hot layers' native counters into a registry.
+
+The simulation loops (CPU step, cache access, bus transfer) count events
+in plain integer attributes — that is their no-op-fast-path: an integer
+add costs nothing and needs no instrument lookup.  These functions walk
+a component and publish those native counters as labeled registry
+series, so every layer exports through one schema without paying a
+method call per simulated event.
+
+Series naming: ``layer.metric{label=value}`` —
+
+* ``pipeline.*`` — retired instructions, cycles, stalls, flushes;
+* ``cache.*{cache=icache|dcache}`` — hits/misses/evictions/fills plus
+  the miss-latency histogram;
+* ``bus.ahb.*`` / ``bus.apb.*`` — transactions, beats, wait states;
+* ``mem.sram.*`` / ``mem.sdram.*`` — controller traffic;
+* ``transport.*`` — control-plane payloads and drops;
+* ``sweep.*`` — host-side engine metrics (wall time, cache reuse),
+  kept in a *separate* registry because they are not deterministic.
+
+:func:`simulator_snapshot` is the per-point entry: snapshot a
+:class:`~repro.core.sim.Simulator` before and after a program runs and
+:func:`point_snapshot` diffs the two, yielding the program-window
+metrics the paper's arm/freeze cycle counter measures — plus derived
+per-stage occupancy gauges.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, diff_snapshots
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "collect_ahb",
+    "collect_apb",
+    "collect_cache",
+    "collect_channel",
+    "collect_pipeline",
+    "collect_sdram",
+    "collect_sram",
+    "collect_transport",
+    "point_snapshot",
+    "simulator_snapshot",
+    "zero_transport_series",
+]
+
+#: The LEON2 integer pipeline stages (paper §2.2).
+PIPELINE_STAGES = ("FE", "DE", "EX", "ME", "WR")
+
+
+def collect_pipeline(cpu, registry: MetricsRegistry) -> None:
+    """Publish the integer unit's execution and stall accounting."""
+    registry.counter("pipeline.instructions").inc(cpu.instret)
+    registry.counter("pipeline.cycles").inc(cpu.cycles)
+    registry.counter("pipeline.traps").inc(cpu.trap_count)
+    registry.counter("pipeline.flushes").inc(cpu.pipeline_flushes)
+    registry.counter("pipeline.fetch_stall_cycles").inc(
+        cpu.fetch_stall_cycles)
+    registry.counter("pipeline.mem_stall_cycles").inc(cpu.mem_stall_cycles)
+    registry.counter("pipeline.annulled_slots").inc(cpu.annulled_slots)
+    registry.counter("pipeline.taken_ctis").inc(cpu.taken_ctis)
+    registry.counter("pipeline.cti_penalty_cycles").inc(
+        cpu.cti_penalty_cycles)
+    registry.counter("pipeline.interlock_stalls").inc(
+        cpu.pipeline.interlock_stalls)
+
+
+def collect_cache(controller, registry: MetricsRegistry) -> None:
+    """Publish one cache controller's :class:`~repro.cache.cache.CacheStats`
+    (and friends) as ``cache.*{cache=<name>}`` series."""
+    label = controller.name
+    stats = controller.stats
+    registry.counter("cache.read_hits", cache=label).inc(stats.read_hits)
+    registry.counter("cache.read_misses", cache=label).inc(stats.read_misses)
+    registry.counter("cache.write_hits", cache=label).inc(stats.write_hits)
+    registry.counter("cache.write_misses",
+                     cache=label).inc(stats.write_misses)
+    registry.counter("cache.evictions", cache=label).inc(stats.evictions)
+    registry.counter("cache.flushes", cache=label).inc(stats.flushes)
+    registry.counter("cache.fills", cache=label).inc(controller.fill_count)
+    registry.counter("cache.bypasses",
+                     cache=label).inc(controller.bypass_count)
+    registry.histogram("cache.miss_cycles", cache=label).load(
+        controller.miss_cycle_buckets, controller.miss_cycles_sum)
+    if controller.prefetcher is not None:
+        pstats = controller.prefetcher.stats
+        registry.counter("cache.prefetch_issued",
+                         cache=label).inc(pstats.issued)
+        registry.counter("cache.prefetch_useful",
+                         cache=label).inc(pstats.useful)
+
+
+def collect_ahb(bus, registry: MetricsRegistry) -> None:
+    registry.counter("bus.ahb.transfers").inc(bus.transfers)
+    registry.counter("bus.ahb.burst_transfers").inc(bus.burst_transfers)
+    registry.counter("bus.ahb.data_beats").inc(bus.data_beats)
+    registry.counter("bus.ahb.wait_states").inc(bus.wait_states)
+    registry.counter("bus.ahb.errors").inc(bus.error_count)
+
+
+def collect_apb(bridge, registry: MetricsRegistry) -> None:
+    registry.counter("bus.apb.accesses").inc(bridge.accesses)
+    registry.counter("bus.apb.wait_states").inc(
+        bridge.accesses * bridge.penalty_cycles)
+
+
+def collect_sram(sram, registry: MetricsRegistry) -> None:
+    registry.counter("mem.sram.reads").inc(sram.reads)
+    registry.counter("mem.sram.writes").inc(sram.writes)
+
+
+def collect_sdram(controller, registry: MetricsRegistry) -> None:
+    registry.counter("mem.sdram.handshakes").inc(controller.total_handshakes)
+    registry.counter("mem.sdram.beats").inc(controller.total_beats)
+    registry.counter("mem.sdram.row_misses").inc(controller.row_misses)
+
+
+_TRANSPORT_COUNTERS = ("sent_payloads", "received_payloads",
+                       "dropped_corrupt", "dropped_misaddressed")
+
+
+def collect_transport(transport, registry: MetricsRegistry) -> None:
+    """Publish a control-plane transport's delivery accounting (plus
+    per-direction channel fault counters for lossy transports)."""
+    for name in _TRANSPORT_COUNTERS:
+        registry.counter(f"transport.{name}").inc(getattr(transport, name))
+    channels = getattr(transport, "channel_stats", None)
+    if channels is not None:
+        for direction, stats in channels().items():
+            collect_channel(stats, registry, direction)
+
+
+def collect_channel(stats: dict, registry: MetricsRegistry,
+                    direction: str) -> None:
+    for name, value in stats.items():
+        registry.counter(f"channel.{name}",
+                         direction=direction).inc(value)
+
+
+def zero_transport_series(registry: MetricsRegistry) -> None:
+    """Declare the transport series at zero.
+
+    The Sim box has no network stack (it plays leon_ctrl's role itself),
+    but per-point snapshots keep a schema-stable ``transport.*`` section
+    so sweeps run in the simulator and runs driven over a real transport
+    diff cleanly against each other.
+    """
+    for name in _TRANSPORT_COUNTERS:
+        registry.counter(f"transport.{name}")
+
+
+def simulator_snapshot(sim) -> dict:
+    """One full snapshot of every layer a Simulator owns (totals since
+    construction — diff two of these for a program-window view)."""
+    registry = MetricsRegistry()
+    collect_pipeline(sim.cpu, registry)
+    collect_cache(sim.icache, registry)
+    collect_cache(sim.dcache, registry)
+    collect_ahb(sim.bus, registry)
+    collect_apb(sim.apb, registry)
+    collect_sram(sim.sram, registry)
+    zero_transport_series(registry)
+    return registry.snapshot()
+
+
+def point_snapshot(after: dict, before: dict) -> dict:
+    """Program-window snapshot: delta of two :func:`simulator_snapshot`
+    dicts plus derived pipeline occupancy gauges.
+
+    The occupancy model is the documented single-issue in-order one:
+    every retired instruction passes through all five stages for one
+    cycle each; stall cycles additionally hold a specific stage busy —
+    fetch stalls hold FE, memory stalls hold ME, and multi-cycle issue
+    (mul/div, stores, interlock bubbles, CTI redirect bubbles) holds EX.
+    """
+    snap = diff_snapshots(after, before)
+    counters = snap["counters"]
+    cycles = counters.get("pipeline.cycles", 0)
+    if cycles > 0:
+        instret = counters.get("pipeline.instructions", 0)
+        fetch = counters.get("pipeline.fetch_stall_cycles", 0)
+        mem = counters.get("pipeline.mem_stall_cycles", 0)
+        annulled = counters.get("pipeline.annulled_slots", 0)
+        issue_extra = max(0, cycles - instret - fetch - mem - annulled)
+        busy = {
+            "FE": instret + annulled + fetch,
+            "DE": instret,
+            "EX": instret + issue_extra,
+            "ME": instret + mem,
+            "WR": instret,
+        }
+        for stage in PIPELINE_STAGES:
+            key = f"pipeline.occupancy{{stage={stage}}}"
+            snap["gauges"][key] = round(min(1.0, busy[stage] / cycles), 6)
+    return snap

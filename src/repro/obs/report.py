@@ -1,0 +1,67 @@
+"""Render metrics snapshots as text or JSON reports, and diff runs.
+
+The benches use :func:`render_text` to print a Trace-Analyzer-style
+summary next to the paper tables; CI writes :func:`render_json` output
+as the smoke-sweep artifact; :func:`diff_reports` compares two persisted
+snapshots (e.g. the ``obs`` field of two sweep-cache records) so a
+configuration change shows up as a signed per-series delta.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import diff_snapshots
+
+__all__ = ["diff_reports", "render_json", "render_text"]
+
+
+def render_json(snapshot: dict, indent: int | None = 1) -> str:
+    """Canonical JSON rendering of a snapshot (sorted keys, stable)."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent)
+
+
+def _histogram_line(hist: dict) -> str:
+    count = hist.get("count", 0)
+    if not count:
+        return "count=0"
+    mean = hist.get("sum", 0) / count
+    # The highest non-empty bucket bound approximates the max.
+    bounds = list(hist.get("le", [])) + ["+inf"]
+    top = next((bounds[i] for i in range(len(hist["counts"]) - 1, -1, -1)
+                if hist["counts"][i]), 0)
+    return f"count={count} mean={mean:.2f} max_bucket<={top}"
+
+
+def render_text(snapshot: dict, title: str = "metrics") -> str:
+    """Aligned text report, one series per line, sections in a fixed
+    order — diff-friendly for humans and golden files alike."""
+    lines = [f"=== {title} ==="]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max((len(key) for section in (counters, gauges, histograms)
+                 for key in section), default=0)
+    for key in sorted(counters):
+        lines.append(f"{key:<{width}}  {counters[key]}")
+    for key in sorted(gauges):
+        value = gauges[key]
+        text = f"{value:.6g}" if isinstance(value, float) else str(value)
+        lines.append(f"{key:<{width}}  {text}")
+    for key in sorted(histograms):
+        lines.append(f"{key:<{width}}  {_histogram_line(histograms[key])}")
+    return "\n".join(lines)
+
+
+def diff_reports(after: dict, before: dict,
+                 title: str = "delta") -> str:
+    """Text rendering of ``after - before`` for two snapshots, dropping
+    all-zero counter deltas so real movement stands out."""
+    delta = diff_snapshots(after, before)
+    delta["counters"] = {key: value
+                         for key, value in delta["counters"].items()
+                         if value != 0}
+    delta["histograms"] = {key: hist
+                           for key, hist in delta["histograms"].items()
+                           if hist.get("count")}
+    return render_text(delta, title)

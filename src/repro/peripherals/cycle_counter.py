@@ -27,20 +27,31 @@ class CycleCounter:
     # -- leon_ctrl side -------------------------------------------------------
 
     def arm(self) -> None:
-        """Start counting from zero (program dispatch)."""
+        """Start counting from zero (program dispatch).
+
+        Re-arming discards any previously frozen count: a counter that
+        is armed and immediately frozen must read 0, not the stale value
+        of the last measured program.
+        """
         self.running = True
         self._armed_at = self.clock.cycles
+        self._frozen_value = 0
 
     def freeze(self) -> int:
         """Stop counting (program completion); returns the final count."""
         if self.running:
-            self._frozen_value = self.clock.cycles - self._armed_at
+            elapsed = self.clock.cycles - self._armed_at
+            # A clock reset while armed would make elapsed negative;
+            # clamp so the register never exposes a wrapped garbage
+            # count.
+            self._frozen_value = elapsed if elapsed > 0 else 0
             self.running = False
         return self._frozen_value
 
     def value(self) -> int:
         if self.running:
-            return self.clock.cycles - self._armed_at
+            elapsed = self.clock.cycles - self._armed_at
+            return elapsed if elapsed > 0 else 0
         return self._frozen_value
 
     # -- APB register interface --------------------------------------------

@@ -1,0 +1,155 @@
+"""Property tests for :meth:`ArchitectureConfig.fingerprint`.
+
+The fingerprint is the on-disk sweep cache's index: two runs that hash a
+config differently silently re-simulate (wasting the cache), and two
+*different* configs that hash identically silently serve wrong results.
+Hypothesis drives both directions over the whole configuration space.
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import REPLACEMENT_POLICIES, CacheGeometry
+from repro.core import ArchitectureConfig, ExtensionSpec
+from repro.core.config import (
+    DIVIDER_CYCLES,
+    MULTIPLIER_CYCLES,
+    PIPELINE_DEPTHS,
+)
+
+
+def geometries():
+    """Valid CacheGeometry values: power-of-two shape with
+    ``line_size * ways`` dividing ``size``."""
+    return st.builds(
+        lambda line_shift, ways_shift, sets_shift, replacement:
+            CacheGeometry(
+                size=(1 << line_shift) * (1 << ways_shift) * (1 << sets_shift),
+                line_size=1 << line_shift,
+                ways=1 << ways_shift,
+                replacement=replacement),
+        line_shift=st.integers(3, 6),    # 8..64-byte lines
+        ways_shift=st.integers(0, 2),    # direct-mapped..4-way
+        sets_shift=st.integers(1, 6),    # 2..64 sets
+        replacement=st.sampled_from(REPLACEMENT_POLICIES),
+    )
+
+
+def extensions():
+    specs = st.builds(
+        ExtensionSpec,
+        name=st.sampled_from(["mac", "fir", "crc", "popc"]),
+        opf=st.integers(0x10, 0x1F),
+        slice_cost=st.integers(50, 2000),
+        cycles=st.integers(1, 8),
+    )
+    return st.lists(specs, max_size=3,
+                    unique_by=(lambda e: e.name, lambda e: e.opf)
+                    ).map(tuple)
+
+
+def configs():
+    return st.builds(
+        ArchitectureConfig,
+        icache=geometries(),
+        dcache=geometries(),
+        nwindows=st.sampled_from([2, 4, 8, 16, 32]),
+        multiplier=st.sampled_from(sorted(MULTIPLIER_CYCLES)),
+        divider=st.sampled_from(sorted(DIVIDER_CYCLES)),
+        adapter_read_burst=st.sampled_from([1, 2, 4, 8]),
+        extensions=extensions(),
+        load_use_interlock=st.booleans(),
+        prefetch=st.sampled_from(["none", "nextline", "stride"]),
+        pipeline_depth=st.sampled_from(sorted(PIPELINE_DEPTHS)),
+    )
+
+
+class TestFingerprintProperties:
+    @given(config=configs())
+    def test_equal_configs_equal_fingerprints(self, config):
+        """Rebuilding the same point from its field values must land on
+        the same cache entry — across objects, not just object identity."""
+        clone = ArchitectureConfig(**{
+            f.name: getattr(config, f.name)
+            for f in dataclasses.fields(config)})
+        assert clone == config
+        assert clone.fingerprint() == config.fingerprint()
+        assert len(config.fingerprint()) == 16
+
+    @settings(max_examples=50)
+    @given(config=configs(), other=configs())
+    def test_distinct_configs_distinct_fingerprints(self, config, other):
+        if config == other:
+            assert config.fingerprint() == other.fingerprint()
+        else:
+            assert config.fingerprint() != other.fingerprint()
+
+    @given(config=configs(), data=st.data())
+    def test_single_field_perturbation_changes_fingerprint(self, config,
+                                                           data):
+        """Every field is identity-relevant — including the extension
+        cost fields that key() ignores."""
+        field = data.draw(st.sampled_from([
+            "nwindows", "multiplier", "divider", "adapter_read_burst",
+            "load_use_interlock", "prefetch", "pipeline_depth",
+            "extensions"]), label="field")
+        current = getattr(config, field)
+        if field == "nwindows":
+            value = data.draw(st.sampled_from(
+                [n for n in (2, 4, 8, 16, 32) if n != current]))
+        elif field == "multiplier":
+            value = data.draw(st.sampled_from(
+                sorted(set(MULTIPLIER_CYCLES) - {current})))
+        elif field == "divider":
+            value = data.draw(st.sampled_from(
+                sorted(set(DIVIDER_CYCLES) - {current})))
+        elif field == "adapter_read_burst":
+            value = data.draw(st.sampled_from(
+                [n for n in (1, 2, 4, 8) if n != current]))
+        elif field == "load_use_interlock":
+            value = not current
+        elif field == "prefetch":
+            value = data.draw(st.sampled_from(
+                [p for p in ("none", "nextline", "stride") if p != current]))
+        elif field == "pipeline_depth":
+            value = data.draw(st.sampled_from(
+                [d for d in sorted(PIPELINE_DEPTHS) if d != current]))
+        else:  # extensions: perturb a cost field key() cannot see
+            ext = ExtensionSpec("pert", opf=0x3F, slice_cost=1, cycles=1)
+            if any(e.opf == 0x3F for e in current):
+                ext = dataclasses.replace(ext, cycles=9)
+                value = tuple(dataclasses.replace(e, cycles=9)
+                              if e.opf == 0x3F else e for e in current)
+            else:
+                value = current + (ext,)
+        perturbed = dataclasses.replace(config, **{field: value})
+        assert perturbed.fingerprint() != config.fingerprint()
+
+    @given(config=configs())
+    def test_fingerprint_survives_asdict_round_trip(self, config):
+        """The canonical dict dump — what the fingerprint hashes — must
+        rebuild into a config with the same fingerprint (the restart
+        survival property of the on-disk cache)."""
+        dumped = json.loads(json.dumps(dataclasses.asdict(config)))
+        rebuilt = ArchitectureConfig(
+            icache=CacheGeometry(**dumped["icache"]),
+            dcache=CacheGeometry(**dumped["dcache"]),
+            nwindows=dumped["nwindows"],
+            multiplier=dumped["multiplier"],
+            divider=dumped["divider"],
+            adapter_read_burst=dumped["adapter_read_burst"],
+            extensions=tuple(ExtensionSpec(**e)
+                             for e in dumped["extensions"]),
+            load_use_interlock=dumped["load_use_interlock"],
+            prefetch=dumped["prefetch"],
+            pipeline_depth=dumped["pipeline_depth"],
+        )
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    @given(config=configs())
+    def test_fingerprint_is_stable_across_calls(self, config):
+        assert config.fingerprint() == config.fingerprint()

@@ -105,6 +105,81 @@ class TestDeterminism:
         assert cycles[4096] == cycles[8192] == cycles[16384]
 
 
+class TestObsSnapshots:
+    """Per-point telemetry: present, meaningful, and byte-deterministic
+    across executors — the persisted-snapshot acceptance contract."""
+
+    def test_points_carry_obs_series(self, serial_outcome):
+        for point in serial_outcome.points:
+            counters = point.obs["counters"]
+            assert counters["pipeline.interlock_stalls"] >= 0
+            assert counters["pipeline.cycles"] == point.cycles
+            assert counters["pipeline.instructions"] == point.instructions
+            assert counters["cache.read_misses{cache=dcache}"] \
+                == point.dcache["read_misses"]
+            # The Sim box has no network; the series still exists (at
+            # zero) so remote-run snapshots diff against local ones.
+            assert counters["transport.dropped_corrupt"] == 0
+            # One histogram observation per demand read miss.
+            assert point.obs["histograms"][
+                "cache.miss_cycles{cache=dcache}"]["count"] \
+                == point.dcache["read_misses"]
+            occupancy = point.obs["gauges"]["pipeline.occupancy{stage=EX}"]
+            assert 0 < occupancy <= 1
+
+    def test_serial_and_parallel_persist_identical_snapshots(
+            self, image, tmp_path):
+        """Differential satellite: sweep 4 D-cache sizes serially and
+        with 2 workers into two separate disk caches; every persisted
+        per-point record — obs snapshot included — must be
+        byte-identical."""
+        configs = [ArchitectureConfig().with_dcache_size(size)
+                   for size in (1024, 2048, 4096, 8192)]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        SweepRunner(cache=ResultCache(serial_dir)).sweep(configs, image)
+        SweepRunner(workers=2, cache=ResultCache(parallel_dir)).sweep(
+            configs, image)
+        digest = image_digest(image)
+        serial_files = sorted((serial_dir / digest).glob("*.json"))
+        assert len(serial_files) == 4
+        for serial_file in serial_files:
+            parallel_file = parallel_dir / digest / serial_file.name
+            assert serial_file.read_bytes() == parallel_file.read_bytes()
+            record = json.loads(serial_file.read_text())
+            assert record["obs"]["counters"]["pipeline.cycles"] > 0
+
+    def test_obs_survives_cache_round_trip(self, image, tmp_path):
+        config = ArchitectureConfig()
+        SweepRunner(cache=ResultCache(tmp_path)).sweep([config], image)
+        outcome = SweepRunner(cache=ResultCache(tmp_path)).sweep(
+            [config], image)
+        point = outcome.points[0]
+        assert point.source == "disk"
+        assert point.obs["counters"]["pipeline.cycles"] == point.cycles
+
+    def test_sweep_runner_host_registry(self, image):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        runner = SweepRunner(obs=registry)
+        configs = [ArchitectureConfig(),
+                   ArchitectureConfig().with_dcache_size(2048)]
+        runner.sweep(configs, image)
+        snap = registry.snapshot()
+        assert snap["counters"]["sweep.points"] == 2
+        assert snap["counters"]["sweep.simulated"] == 2
+        assert snap["histograms"]["sweep.point_wall_ms"]["count"] == 2
+        assert snap["gauges"]["sweep.workers"] == 0
+
+    def test_obs_disabled_simulator_reports_empty(self, image):
+        from repro.core.sim import Simulator
+
+        report = Simulator(obs=False).run(image)
+        assert report.obs == {}
+        assert report.cycles > 0
+
+
 class TestResultCache:
     def test_second_run_is_all_memory_hits(self, image, space):
         cache = ResultCache()
@@ -141,7 +216,7 @@ class TestResultCache:
         files = sorted(digest_dir.glob("*.json"))
         assert len(files) == space.size
         record = json.loads(files[0].read_text())
-        assert record["schema"] == 1
+        assert record["schema"] == 2
         assert record["cycles"] > 0
 
     def test_corrupt_disk_record_is_a_miss(self, image, tmp_path):

@@ -214,3 +214,39 @@ class TestCycleCounter:
         counter.arm()
         clock.advance(3)
         assert counter.value() == 3
+
+    def test_rearm_then_immediate_freeze_reads_zero(self):
+        """Regression: arm() must discard the previous frozen count, so
+        freezing after zero elapsed cycles reads 0, not the stale value
+        of the last measured program."""
+        clock = Clock()
+        counter = CycleCounter(clock)
+        counter.arm()
+        clock.advance(123)
+        assert counter.freeze() == 123
+        counter.arm()                    # re-arm, no cycles elapse
+        assert counter.value() == 0
+        assert counter.freeze() == 0     # not 123
+        assert counter.read_register(0x0) == 0
+
+    def test_double_freeze_keeps_first_count(self):
+        clock = Clock()
+        counter = CycleCounter(clock)
+        counter.arm()
+        clock.advance(42)
+        assert counter.freeze() == 42
+        clock.advance(58)
+        assert counter.freeze() == 42    # second freeze is a no-op
+
+    def test_clock_reset_while_armed_never_goes_negative(self):
+        """Regression: a clock reset while the counter is armed used to
+        freeze a negative elapsed count, which the 32-bit register then
+        exposed as wrapped garbage."""
+        clock = Clock()
+        counter = CycleCounter(clock)
+        clock.advance(100)
+        counter.arm()
+        clock.reset()
+        assert counter.value() == 0
+        assert counter.freeze() == 0
+        assert counter.read_register(0x0) == 0

@@ -144,6 +144,91 @@ class TestResponseCodecs:
         assert (response.state, response.cycles) == (state, cycles)
 
 
+#: Every decodable response, well-formed, as fuzz corpus seeds.
+_WELL_FORMED_RESPONSES = [
+    protocol.encode_status_response(LeonState.DONE, 123456),
+    protocol.encode_load_ack(3, 7),
+    protocol.encode_load_ack(5, 8, (2, 4, 6)),
+    protocol.encode_started(0x4000_1000),
+    protocol.encode_restarted(),
+    protocol.encode_trace_data(64, 0, b"\x01" * 16),
+    protocol.encode_memory_data(0x4000_0008, b"\xde\xad\xbe\xef"),
+    protocol.encode_error(0x42, "bad things"),
+]
+
+
+class TestResponseDecoderFuzz:
+    """Negative-path fuzz: the decoder's only failure mode is
+    ProtocolError — struct.error / IndexError / ValueError must never
+    leak, whatever arrives off the wire."""
+
+    @given(data=st.sampled_from(_WELL_FORMED_RESPONSES),
+           cut=st.integers(1, 20))
+    def test_truncated_responses_raise_protocol_error(self, data, cut):
+        truncated = data[:max(0, len(data) - cut)]
+        try:
+            decode_response(truncated)
+        except ProtocolError:
+            pass  # the only acceptable exception
+
+    @given(received=st.integers(0, 0xFFFF), total=st.integers(0, 0xFFFF),
+           missing=st.lists(st.integers(0, 0xFFFF), min_size=1,
+                            max_size=16),
+           cut=st.integers(1, 32))
+    def test_load_ack_missing_list_truncations(self, received, total,
+                                               missing, cut):
+        payload = protocol.encode_load_ack(received, total, tuple(missing))
+        with pytest.raises(ProtocolError):
+            decode_response(payload[:-min(cut, len(payload) - 5)] if
+                            cut < len(payload) - 5 else payload[:6])
+
+    @given(count=st.integers(1, 255), body=st.binary(max_size=8))
+    def test_load_ack_lying_count_byte(self, count, body):
+        """A count byte promising more entries than the datagram holds."""
+        import struct
+
+        payload = struct.pack("!BHHB", Response.LOAD_ACK, 1, 4, count) + body
+        if len(body) >= 2 * count:
+            ack = decode_response(payload)
+            assert len(ack.missing) == count
+        else:
+            with pytest.raises(ProtocolError):
+                decode_response(payload)
+
+    @given(payload=st.binary(min_size=0, max_size=64))
+    def test_arbitrary_garbage_never_leaks_internal_errors(self, payload):
+        try:
+            decode_response(payload)
+        except ProtocolError:
+            pass
+
+    @given(opcode=st.integers(0, 255), body=st.binary(max_size=32))
+    def test_unknown_opcodes_raise_protocol_error(self, opcode, body):
+        known = {int(r) for r in Response}
+        if opcode in known:
+            return
+        with pytest.raises(ProtocolError):
+            decode_response(bytes([opcode]) + body)
+
+    @given(state=st.integers(0, 255), cycles=st.integers(0, 0xFFFF_FFFF))
+    def test_status_with_invalid_state_byte(self, state, cycles):
+        import struct
+
+        payload = struct.pack("!BBI", Response.STATUS, state, cycles)
+        if state in {int(s) for s in LeonState}:
+            assert decode_response(payload).cycles == cycles
+        else:
+            with pytest.raises(ProtocolError):
+                decode_response(payload)
+
+    @given(payload=st.binary(min_size=0, max_size=64))
+    def test_command_decoder_same_guarantee(self, payload):
+        try:
+            decode_command(payload)
+        except ProtocolError:
+            pass
+
+
 class TestPacketizer:
     def test_single_packet_program(self):
         payloads = packetize_program(0x4000_1000, b"\x01" * 64)

@@ -1,0 +1,70 @@
+"""Report rendering tests: text layout, JSON stability, run diffing."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import diff_reports, render_json, render_text
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("cache.read_misses", cache="dcache").inc(33)
+    registry.counter("pipeline.cycles").inc(2480)
+    registry.gauge("pipeline.occupancy", stage="EX").set(0.75)
+    registry.histogram("cache.miss_cycles", cache="dcache").observe(12)
+    return registry.snapshot()
+
+
+class TestRenderText:
+    def test_one_series_per_line_aligned(self):
+        text = render_text(_snapshot(), title="point 0")
+        lines = text.splitlines()
+        assert lines[0] == "=== point 0 ==="
+        assert len(lines) == 5  # title + 2 counters + 1 gauge + 1 histogram
+        # Values align: every value starts at the same column.
+        import re
+
+        columns = {re.match(r"\S+ +", line).end() for line in lines[1:]}
+        assert len(columns) == 1
+
+    def test_counters_sorted(self):
+        text = render_text(_snapshot())
+        assert text.index("cache.read_misses") < text.index("pipeline.cycles")
+
+    def test_histogram_line_summarises(self):
+        text = render_text(_snapshot())
+        assert "count=1 mean=12.00" in text
+
+    def test_empty_snapshot(self):
+        assert render_text({"counters": {}, "gauges": {},
+                            "histograms": {}}) == "=== metrics ==="
+
+
+class TestRenderJson:
+    def test_valid_sorted_json(self):
+        blob = render_json(_snapshot())
+        data = json.loads(blob)
+        assert data["counters"]["pipeline.cycles"] == 2480
+        assert blob == render_json(_snapshot())  # byte-stable
+
+
+class TestDiffReports:
+    def test_zero_deltas_dropped_real_movement_kept(self):
+        before = MetricsRegistry()
+        before.counter("moving").inc(10)
+        before.counter("steady").inc(5)
+        after = MetricsRegistry()
+        after.counter("moving").inc(14)
+        after.counter("steady").inc(5)
+        text = diff_reports(after.snapshot(), before.snapshot(),
+                            title="run B - run A")
+        assert "=== run B - run A ===" in text
+        assert "moving" in text
+        assert "steady" not in text
+
+    def test_empty_histogram_deltas_dropped(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(3)
+        snap = registry.snapshot()
+        text = diff_reports(snap, snap)
+        assert "lat" not in text
