@@ -4,20 +4,27 @@ from repro.control.client import (
     ControlTimeout,
     DeviceError,
     LiquidClient,
+    RetryPolicy,
     RunResult,
 )
 from repro.control.emulator import HardwareEmulator
 from repro.control.listener import ResponseListener
-from repro.control.transport import DirectTransport, LossyTransport
+from repro.control.transport import (
+    ChaosTransport,
+    DirectTransport,
+    LossyTransport,
+)
 from repro.control.webapp import ControlServlet
 
 __all__ = [
     "ControlTimeout",
     "DeviceError",
     "LiquidClient",
+    "RetryPolicy",
     "RunResult",
     "HardwareEmulator",
     "ResponseListener",
+    "ChaosTransport",
     "DirectTransport",
     "LossyTransport",
     "ControlServlet",

@@ -7,16 +7,33 @@ LEON, Read memory, Restart — over any transport.  A
 as the dedicated listener thread of the paper's control server did.
 
 Reliability note: the paper's protocol is fire-and-forget UDP with a
-human watching the console.  The client layers a simple
-send/ack/retransmit loop on top so that program loading succeeds over
-lossy channels; retries resend only the chunks the device reports
-missing (LOAD_ACK carries a backwards-compatible missing-sequence
-list), not the full payload set.
+human watching the console.  The client layers a reliable-request
+discipline on top so every command survives the open-Internet channel:
+
+* every request carries a sequence-number tag the device echoes back
+  (:func:`repro.net.protocol.tag_payload`; untagged seed devices keep
+  working — their responses simply come back untagged);
+* responses tagged for an earlier request are suppressed instead of
+  satisfying the current one (a stale ``StatusResponse`` from a
+  previous command can no longer alias a new request), and duplicates
+  of already-answered requests are counted and dropped;
+* retries follow per-command :class:`RetryPolicy` budgets with
+  exponential backoff measured in delivery rounds, replacing the old
+  fixed ``max_retries × poll_rounds`` grid;
+* program loading retransmits only the chunks the device reports
+  missing (LOAD_ACK carries a backwards-compatible missing-sequence
+  list), not the full payload set.
+
+Reliability accounting (retries, suppressed stale/duplicate responses,
+backoff rounds, timeouts) lives in native integer counters, folded into
+a :class:`repro.obs.MetricsRegistry` by
+:func:`repro.obs.collect.collect_client` / :meth:`LiquidClient.publish_obs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, replace
 
 from repro.control.listener import ResponseListener
 from repro.net import protocol
@@ -54,57 +71,211 @@ class RunResult:
     result_word: int | None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout budget for one command class.
+
+    Time is measured in *delivery rounds* (one ``transport.poll`` plus
+    an ``idle_device`` nudge), the only clock a deterministic transport
+    has.  Attempt *n* polls ``poll_rounds * backoff**n`` rounds, capped
+    at ``max_poll_rounds``, before retransmitting — exponential backoff
+    so a congested channel is not hammered with retries.
+    """
+
+    attempts: int = 8
+    poll_rounds: int = 8
+    backoff: float = 2.0
+    max_poll_rounds: int = 64
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.poll_rounds < 1:
+            raise ValueError("poll_rounds must be >= 1")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if self.max_poll_rounds < self.poll_rounds:
+            raise ValueError("max_poll_rounds must be >= poll_rounds")
+
+    def rounds_for(self, attempt: int) -> int:
+        """Delivery rounds to poll during 0-based attempt number."""
+        return min(int(self.poll_rounds * self.backoff ** attempt),
+                   self.max_poll_rounds)
+
+
+#: How many answered request tags to remember for duplicate detection.
+_COMPLETED_WINDOW = 256
+
+
 class LiquidClient:
     def __init__(self, transport, listener: ResponseListener | None = None,
-                 max_retries: int = 8, poll_rounds: int = 64):
+                 max_retries: int = 8, poll_rounds: int = 64,
+                 policies: dict[str, RetryPolicy] | None = None):
         self.transport = transport
         self.listener = listener or ResponseListener()
         self.max_retries = max_retries
         self.poll_rounds = poll_rounds
+        # max_retries/poll_rounds seed the default per-command policies
+        # (kept as constructor args for seed-era callers); `policies`
+        # overrides individual commands.
+        base = RetryPolicy(attempts=max_retries,
+                           poll_rounds=min(8, poll_rounds),
+                           max_poll_rounds=poll_rounds)
+        self.base_policy = base
+        self.policies: dict[str, RetryPolicy] = {
+            # Loads solicit one ack per chunk; give each attempt a
+            # longer first window so a full round of acks can land.
+            "load": replace(base, poll_rounds=min(16, poll_rounds)),
+        }
+        if policies:
+            self.policies.update(policies)
+        # -- reliability accounting (native ints; see publish_obs) -----
+        self.retries = 0
+        self.retries_by_command: dict[str, int] = {}
+        self.stale_suppressed = 0
+        self.duplicates_suppressed = 0
+        self.backoff_rounds = 0
+        self.timeouts = 0
+        # -- request-tag state -----------------------------------------
+        self._seq = 0
+        self._tags_confirmed = False
+        self._completed: set[int] = set()
+        self._completed_order: deque[int] = deque()
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
+    def policy_for(self, command: str) -> RetryPolicy:
+        return self.policies.get(command, self.base_policy)
+
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) & protocol.MAX_TAG_SEQ
+        return self._seq
+
+    def _mark_completed(self, *seqs: int) -> None:
+        for seq in seqs:
+            if seq in self._completed:
+                continue
+            self._completed.add(seq)
+            self._completed_order.append(seq)
+            if len(self._completed_order) > _COMPLETED_WINDOW:
+                self._completed.discard(self._completed_order.popleft())
+
     def _collect(self) -> list:
+        """Poll the transport; returns decodable (response, tag) pairs.
+        Every response is recorded on the listener console, suppressed
+        or not — the operator sees everything that arrived."""
         responses = []
         for payload in self.transport.poll():
             try:
-                response = protocol.decode_response(payload)
+                response, tag = protocol.decode_response_tagged(payload)
             except protocol.ProtocolError:
                 continue
+            if tag is not None:
+                # The device echoes tags: from here on, untagged
+                # responses cannot be answers to tagged requests.
+                self._tags_confirmed = True
             self.listener.record(response)
-            responses.append(response)
+            responses.append((response, tag))
         return responses
 
+    def _admit(self, response, tag: int | None, active: set[int]) -> bool:
+        """Should *response* be considered an answer to the in-flight
+        request(s) tagged with *active* sequence numbers?
+
+        Suppressed responses are counted: a tag for an already-answered
+        request is a duplicate, any other mismatch is stale.  Untagged
+        responses are admitted only while the device has not yet proven
+        it echoes tags (seed-device compatibility) — except errors,
+        which may be unsolicited crash notifications and must surface.
+        """
+        if tag is None:
+            if isinstance(response, ErrorResponse):
+                return True
+            if self._tags_confirmed:
+                self.stale_suppressed += 1
+                return False
+            return True
+        if tag in active:
+            return True
+        if tag in self._completed:
+            self.duplicates_suppressed += 1
+        else:
+            self.stale_suppressed += 1
+        return False
+
     def _request(self, payload: bytes, want: type, *,
-                 predicate=None, allow_error: bool = False):
-        """Send *payload* until a response of type *want* arrives."""
-        for _ in range(self.max_retries):
-            self.transport.send(payload)
-            for _ in range(self.poll_rounds):
-                for response in self._collect():
+                 predicate=None, allow_error: bool = False,
+                 command: str = "request"):
+        """Send *payload* until a response of type *want* arrives,
+        following the command's retry policy."""
+        policy = self.policy_for(command)
+        seq = self._next_seq()
+        wire = protocol.tag_payload(payload, seq)
+        active = {seq}
+        for attempt in range(policy.attempts):
+            if attempt:
+                self.retries += 1
+                self.retries_by_command[command] = \
+                    self.retries_by_command.get(command, 0) + 1
+            rounds = policy.rounds_for(attempt)
+            if attempt:
+                self.backoff_rounds += rounds - policy.rounds_for(0)
+            self.transport.send(wire)
+            for _ in range(rounds):
+                for response, tag in self._collect():
+                    if not self._admit(response, tag, active):
+                        continue
                     if isinstance(response, ErrorResponse) and not allow_error:
                         raise DeviceError(response)
                     if isinstance(response, want) and (
                             predicate is None or predicate(response)):
+                        self._mark_completed(seq)
                         return response
                 self.transport.idle_device()
+        self.timeouts += 1
         raise ControlTimeout(f"no {want.__name__} response after "
-                             f"{self.max_retries} retries")
+                             f"{policy.attempts} attempts")
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def reliability_stats(self) -> dict:
+        return {
+            "retries": self.retries,
+            "retries_by_command": dict(self.retries_by_command),
+            "stale_suppressed": self.stale_suppressed,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "backoff_rounds": self.backoff_rounds,
+            "timeouts": self.timeouts,
+        }
+
+    def publish_obs(self, registry) -> None:
+        """Publish reliability accounting as ``client.*`` series (and
+        the transport's ``transport.*``/``channel.*`` series) into a
+        :class:`repro.obs.MetricsRegistry`."""
+        from repro.obs.collect import collect_client
+
+        collect_client(self, registry)
+        publish = getattr(self.transport, "publish_obs", None)
+        if publish is not None:
+            publish(registry)
 
     # ------------------------------------------------------------------
     # Commands
     # ------------------------------------------------------------------
 
     def status(self) -> StatusResponse:
-        return self._request(protocol.encode_status_request(), StatusResponse)
+        return self._request(protocol.encode_status_request(), StatusResponse,
+                             command="status")
 
     def restart(self) -> Restarted:
         # One restarts *because* something went wrong; stale error
         # packets from the crashed program must not abort the recovery.
         return self._request(protocol.encode_restart(), Restarted,
-                             allow_error=True)
+                             allow_error=True, command="restart")
 
     def load_binary(self, base: int, blob: bytes,
                     chunk: int = protocol.DEFAULT_CHUNK) -> int:
@@ -118,20 +289,38 @@ class LiquidClient:
         counter, so every wire transmission — including retries — is
         reported.
         """
+        policy = self.policy_for("load")
         payloads = protocol.packetize_program(base, blob, chunk)
         total = len(payloads)
         sent_before = self.transport.sent_payloads
         pending = list(range(total))
-        for _ in range(self.max_retries):
+        # One request tag per attempt, shared by that attempt's chunks.
+        # Any tag of *this* call identifies a usable ack (late acks from
+        # an earlier attempt still report progress); acks from an
+        # earlier load — same total or not — are suppressed as stale.
+        active: set[int] = set()
+        for attempt in range(policy.attempts):
+            if attempt:
+                self.retries += 1
+                self.retries_by_command["load"] = \
+                    self.retries_by_command.get("load", 0) + 1
+            rounds = policy.rounds_for(attempt)
+            if attempt:
+                self.backoff_rounds += rounds - policy.rounds_for(0)
+            tag = self._next_seq()
+            active.add(tag)
             for seq in pending:
-                self.transport.send(payloads[seq])
+                self.transport.send(
+                    protocol.tag_payload(payloads[seq], tag))
             # Poll for acks; every chunk solicits one, so no separate
             # nudge packet is needed.  Track the most advanced ack of
             # the round — early acks still list chunks that arrive
             # moments later.
             best: LoadAck | None = None
-            for _ in range(self.poll_rounds):
-                for response in self._collect():
+            for _ in range(rounds):
+                for response, echoed in self._collect():
+                    if not self._admit(response, echoed, active):
+                        continue
                     if isinstance(response, ErrorResponse):
                         raise DeviceError(response)
                     if isinstance(response, LoadAck) \
@@ -139,6 +328,7 @@ class LiquidClient:
                         if best is None or response.received > best.received:
                             best = response
                 if best is not None and best.received >= total:
+                    self._mark_completed(*active)
                     return self.transport.sent_payloads - sent_before
                 self.transport.idle_device()
             if best is not None and best.missing:
@@ -147,8 +337,9 @@ class LiquidClient:
             # else: no ack at all (the whole round was lost) or a
             # count-only ack from a seed-format device — resend the
             # current pending set unchanged.
+        self.timeouts += 1
         raise ControlTimeout(f"program load incomplete after "
-                             f"{self.max_retries} attempts")
+                             f"{policy.attempts} attempts")
 
     def load_image(self, image: Image,
                    chunk: int = protocol.DEFAULT_CHUNK) -> int:
@@ -156,12 +347,13 @@ class LiquidClient:
         return self.load_binary(base, blob, chunk)
 
     def start(self, entry: int = 0) -> Started:
-        return self._request(protocol.encode_start(entry), Started)
+        return self._request(protocol.encode_start(entry), Started,
+                             command="start")
 
     def read_memory(self, address: int, length: int = 4) -> bytes:
         response = self._request(
             protocol.encode_read_memory(address, length), MemoryData,
-            predicate=lambda r: r.address == address)
+            predicate=lambda r: r.address == address, command="read")
         return response.data
 
     def read_word(self, address: int) -> int:
@@ -180,7 +372,7 @@ class LiquidClient:
         while True:
             response = self._request(
                 protocol.encode_read_trace(offset, chunk), TraceData,
-                predicate=lambda r: r.offset == offset)
+                predicate=lambda r: r.offset == offset, command="trace")
             blob += response.data
             offset += len(response.data)
             if offset >= response.total or not response.data:

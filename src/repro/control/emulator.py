@@ -43,6 +43,7 @@ class HardwareEmulator:
         self.loaded_base: int | None = None
         self.tx_frames: list[bytes] = []
         self._requester: tuple[int, int] | None = None
+        self._reply_tag: int | None = None
 
     # -- device interface ----------------------------------------------------
 
@@ -51,8 +52,10 @@ class HardwareEmulator:
         if unwrapped is None or unwrapped.dst_port != self.control_port:
             return
         self._requester = (unwrapped.src_ip, unwrapped.src_port)
+        self._reply_tag = None
         try:
-            command = protocol.decode_command(unwrapped.payload)
+            command, self._reply_tag = protocol.decode_command_tagged(
+                unwrapped.payload)
         except protocol.ProtocolError as exc:
             self._reply(protocol.encode_error(0x10, str(exc)))
             return
@@ -112,6 +115,11 @@ class HardwareEmulator:
     def _reply(self, payload: bytes) -> None:
         if self._requester is None:
             return
+        # Echo the request tag so the client can match this response to
+        # the exact request that solicited it (untagged requests get the
+        # seed-format untagged reply).
+        if self._reply_tag is not None:
+            payload = protocol.tag_payload(payload, self._reply_tag)
         ip, port = self._requester
         self.tx_frames.append(
             build_udp_packet(self.wrappers.device_ip, ip, self.control_port,

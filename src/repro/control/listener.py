@@ -53,12 +53,13 @@ class ResponseListener:
         if isinstance(response, Restarted):
             return "LEON restarted"
         if isinstance(response, MemoryData):
-            words = [
-                int.from_bytes(response.data[i:i + 4], "big")
-                for i in range(0, len(response.data) - 3, 4)
-            ]
-            rendered = " ".join(f"{w:08x}" for w in words[:8])
-            suffix = " ..." if len(words) > 8 else ""
+            # Group into words plus a final short group: a read whose
+            # length is not a multiple of 4 must still show its trailing
+            # bytes instead of silently hiding them.
+            groups = [response.data[i:i + 4]
+                      for i in range(0, len(response.data), 4)]
+            rendered = " ".join(group.hex() for group in groups[:8])
+            suffix = " ..." if len(groups) > 8 else ""
             return f"memory[0x{response.address:08x}]: {rendered}{suffix}"
         if isinstance(response, ErrorResponse):
             return f"ERROR 0x{response.code:02x}: {response.message}"

@@ -118,16 +118,12 @@ class DirectTransport(_TransportBase):
         return self._unwrap_responses(self.device.take_tx_frames())
 
 
-class LossyTransport(_TransportBase):
-    """Delivery through fault-injecting channels (seeded, deterministic)."""
+class _ChannelTransport(_TransportBase):
+    """Shared machinery for transports that route frames through a
+    (to_device, to_client) channel pair; subclasses build the pair."""
 
-    def __init__(self, device, device_ip: str, device_port: int,
-                 channel_config: ChannelConfig | None = None, seed: int = 7,
-                 client_ip: str = DEFAULT_CLIENT_IP,
-                 client_port: int = DEFAULT_CLIENT_PORT):
-        super().__init__(device, device_ip, device_port, client_ip,
-                         client_port)
-        self.to_device, self.to_client = duplex(channel_config, seed)
+    to_device: Channel
+    to_client: Channel
 
     def send(self, payload: bytes) -> None:
         self.to_device.send(self._frame_for(payload))
@@ -144,3 +140,40 @@ class LossyTransport(_TransportBase):
     def channel_stats(self) -> dict:
         return {"to_device": self.to_device.stats(),
                 "to_client": self.to_client.stats()}
+
+
+class LossyTransport(_ChannelTransport):
+    """Delivery through fault-injecting channels (seeded, deterministic)."""
+
+    def __init__(self, device, device_ip: str, device_port: int,
+                 channel_config: ChannelConfig | None = None, seed: int = 7,
+                 client_ip: str = DEFAULT_CLIENT_IP,
+                 client_port: int = DEFAULT_CLIENT_PORT):
+        super().__init__(device, device_ip, device_port, client_ip,
+                         client_port)
+        self.to_device, self.to_client = duplex(channel_config, seed)
+
+
+class ChaosTransport(_ChannelTransport):
+    """Delivery through scripted fault scenarios (seeded, deterministic).
+
+    *plan* governs the client→device direction; pass *to_client_plan*
+    for per-direction asymmetry (e.g. a clean uplink with a lossy
+    return path).  Accepts a :class:`~repro.net.faults.FaultPlan` or a
+    scenario name from :data:`repro.net.faults.SCENARIOS`.
+    """
+
+    def __init__(self, device, device_ip: str, device_port: int,
+                 plan, to_client_plan=None, seed: int = 7,
+                 client_ip: str = DEFAULT_CLIENT_IP,
+                 client_port: int = DEFAULT_CLIENT_PORT):
+        from repro.net.faults import scenario, scripted_duplex
+
+        super().__init__(device, device_ip, device_port, client_ip,
+                         client_port)
+        if isinstance(plan, str):
+            plan = scenario(plan)
+        if isinstance(to_client_plan, str):
+            to_client_plan = scenario(to_client_plan)
+        self.to_device, self.to_client = scripted_duplex(
+            plan, seed, to_client_plan)

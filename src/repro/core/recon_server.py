@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.control.client import LiquidClient
+from repro.control.client import ControlTimeout, DeviceError, LiquidClient
 from repro.control.transport import DirectTransport
 from repro.core.config import ArchitectureConfig
 from repro.core.recon_cache import ReconfigurationCache
@@ -54,6 +55,13 @@ class JobResult:
     seconds_programming: float
     seconds_execution: float
     cache_hit: bool
+    #: False when the job was recorded as failed (control-plane timeout
+    #: or device error that survived the restart-and-retry).
+    ok: bool = True
+    #: Human-readable failure cause when ``ok`` is False.
+    error: str | None = None
+    #: Times the job was attempted (2 = failed once, retried).
+    attempts: int = 1
 
     @property
     def total_model_seconds(self) -> float:
@@ -62,15 +70,30 @@ class JobResult:
 
 
 class ReconfigurationServer:
-    def __init__(self, cache: ReconfigurationCache | None = None):
+    def __init__(self, cache: ReconfigurationCache | None = None,
+                 client_factory: Callable[[FPXPlatform],
+                                          LiquidClient] | None = None):
         self.cache = cache or ReconfigurationCache()
         self.platform: FPXPlatform | None = None
         self.client: LiquidClient | None = None
+        # Builds the control client for a freshly configured platform.
+        # The default drives the node over a lossless DirectTransport;
+        # override to interpose a lossy/chaos transport or custom retry
+        # policies (tests inject failures this way).
+        self.client_factory = client_factory or self._default_client
         self.current_bitfile: Bitfile | None = None
         self.model_seconds = 0.0
         self.reconfigurations = 0
+        self.jobs_failed = 0
+        self.jobs_retried = 0
         self._queue: deque[Job] = deque()
         self.results: list[JobResult] = []
+
+    @staticmethod
+    def _default_client(platform: FPXPlatform) -> LiquidClient:
+        return LiquidClient(DirectTransport(
+            platform, platform.config.device_ip,
+            platform.config.control_port))
 
     # ------------------------------------------------------------------
     # Configuration
@@ -91,9 +114,7 @@ class ReconfigurationServer:
                                                bitfile.size_bytes)
         platform.boot()
         self.platform = platform
-        self.client = LiquidClient(DirectTransport(
-            platform, platform.config.device_ip,
-            platform.config.control_port))
+        self.client = self.client_factory(platform)
         self.current_bitfile = bitfile
         self.reconfigurations += 1
         self.model_seconds += synthesis_seconds + program_seconds
@@ -107,10 +128,51 @@ class ReconfigurationServer:
         self._queue.append(job)
 
     def run_queue(self) -> list[JobResult]:
+        """Run all queued jobs, degrading gracefully: a job that fails
+        with a control-plane timeout or device error is retried once
+        after a device restart; a second failure is recorded as a failed
+        :class:`JobResult` instead of aborting the rest of the queue."""
         results = []
         while self._queue:
-            results.append(self.run_job(self._queue.popleft()))
+            job = self._queue.popleft()
+            try:
+                result = self.run_job(job)
+            except (ControlTimeout, DeviceError) as first_error:
+                result = self._retry_job(job, first_error)
+            results.append(result)
         return results
+
+    def _retry_job(self, job: Job, first_error: Exception) -> JobResult:
+        """Second (and last) chance for a failed job: restart the device
+        to shed wedged state, rerun, and on repeat failure record the
+        job as failed."""
+        self.jobs_retried += 1
+        try:
+            if self.client is not None:
+                self.client.restart()
+            result = self.run_job(job)
+        except (ControlTimeout, DeviceError) as exc:
+            self.jobs_failed += 1
+            result = JobResult(
+                name=job.name,
+                config_key=job.config.key(),
+                state=LeonState.ERROR,
+                cycles=0,
+                result_word=None,
+                seconds_synthesis=0.0,
+                seconds_programming=0.0,
+                seconds_execution=0.0,
+                cache_hit=False,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc} "
+                      f"(first failure: {type(first_error).__name__}: "
+                      f"{first_error})",
+                attempts=2,
+            )
+            self.results.append(result)
+            return result
+        result.attempts = 2
+        return result
 
     def run_job(self, job: Job) -> JobResult:
         synthesis_s, program_s, cache_hit = self.configure(job.config)
@@ -142,6 +204,8 @@ class ReconfigurationServer:
         return {
             "model_seconds": round(self.model_seconds, 3),
             "reconfigurations": self.reconfigurations,
+            "jobs_retried": self.jobs_retried,
+            "jobs_failed": self.jobs_failed,
             "cache": {
                 "entries": len(self.cache),
                 "hits": self.cache.stats.hits,

@@ -46,6 +46,7 @@ class ControlPacketProcessor:
         self.commands_handled = 0
         self.foreign_payloads = 0
         self.malformed = 0
+        self._reply_tag: int | None = None
 
     def handle(self, unwrapped: UnwrappedPayload) -> bool:
         """Process one unwrapped payload; True if it was a LEON command."""
@@ -54,8 +55,10 @@ class ControlPacketProcessor:
             return False
         self.packet_gen.remember_requester(unwrapped.src_ip,
                                            unwrapped.src_port)
+        self._reply_tag = None
         try:
-            command = protocol.decode_command(unwrapped.payload)
+            command, self._reply_tag = protocol.decode_command_tagged(
+                unwrapped.payload)
         except ProtocolError as exc:
             self.malformed += 1
             self.packet_gen.send_to_requester(
@@ -65,48 +68,54 @@ class ControlPacketProcessor:
         self._execute(command)
         return True
 
+    def _respond(self, payload: bytes) -> None:
+        """Send a response, echoing the request's tag so the client can
+        match it to the exact request that solicited it (untagged seed
+        requests get untagged replies)."""
+        if self._reply_tag is not None:
+            payload = protocol.tag_payload(payload, self._reply_tag)
+        self.packet_gen.send_to_requester(payload)
+
     def _execute(self, command) -> None:
         leon = self.leon_ctrl
-        gen = self.packet_gen
         if isinstance(command, StatusRequest):
             state, cycles = leon.status()
-            gen.send_to_requester(
-                protocol.encode_status_response(state, cycles))
+            self._respond(protocol.encode_status_response(state, cycles))
         elif isinstance(command, RestartRequest):
             if self.restart_handler is not None:
                 self.restart_handler()
             else:
                 leon.reset()
-            gen.send_to_requester(protocol.encode_restarted())
+            self._respond(protocol.encode_restarted())
         elif isinstance(command, LoadChunk):
             received, total = leon.handle_load_chunk(command)
-            gen.send_to_requester(protocol.encode_load_ack(
+            self._respond(protocol.encode_load_ack(
                 received, total, leon.assembler.missing()))
         elif isinstance(command, StartRequest):
             entry = leon.start(command.entry)
             if entry is None:
-                gen.send_to_requester(
+                self._respond(
                     protocol.encode_error(ERROR_NO_PROGRAM,
                                           "no complete program loaded"))
             else:
-                gen.send_to_requester(protocol.encode_started(entry))
+                self._respond(protocol.encode_started(entry))
         elif isinstance(command, TraceRequest):
             blob = self.trace_source() if self.trace_source else None
             if blob is None:
-                gen.send_to_requester(protocol.encode_error(
+                self._respond(protocol.encode_error(
                     ERROR_READ_FAILED, "tracing is not enabled"))
             else:
                 window = blob[command.offset:command.offset + command.length]
-                gen.send_to_requester(protocol.encode_trace_data(
+                self._respond(protocol.encode_trace_data(
                     len(blob), command.offset, window))
         elif isinstance(command, ReadRequest):
             data = leon.read_memory(command.address, command.length)
             if data is None:
-                gen.send_to_requester(
+                self._respond(
                     protocol.encode_error(ERROR_READ_FAILED,
                                           f"read 0x{command.address:08x}"))
             else:
-                gen.send_to_requester(
+                self._respond(
                     protocol.encode_memory_data(command.address, data))
         else:  # pragma: no cover - decode_command is exhaustive
             raise AssertionError(f"unhandled command {command!r}")

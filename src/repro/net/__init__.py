@@ -1,6 +1,21 @@
-"""Network substrate: IP/UDP codecs, the LEON control protocol, channels."""
+"""Network substrate: IP/UDP codecs, the LEON control protocol, channels,
+and the scripted fault-injection harness."""
 
-from repro.net.channel import Channel, ChannelConfig, duplex, pump
+from repro.net.channel import (
+    Channel,
+    ChannelConfig,
+    ChannelStarvation,
+    duplex,
+    pump,
+)
+from repro.net.faults import (
+    SCENARIOS,
+    FaultPhase,
+    FaultPlan,
+    ScriptedChannel,
+    scenario,
+    scripted_duplex,
+)
 from repro.net.packets import (
     Ipv4Packet,
     PacketError,
@@ -23,7 +38,9 @@ from repro.net.protocol import (
 )
 
 __all__ = [
-    "Channel", "ChannelConfig", "duplex", "pump",
+    "Channel", "ChannelConfig", "ChannelStarvation", "duplex", "pump",
+    "SCENARIOS", "FaultPhase", "FaultPlan", "ScriptedChannel", "scenario",
+    "scripted_duplex",
     "Ipv4Packet", "PacketError", "UdpDatagram", "build_udp_packet",
     "format_ip", "internet_checksum", "parse_ip", "parse_udp_packet",
     "Command", "LeonState", "ProgramAssembler", "ProtocolError", "Response",

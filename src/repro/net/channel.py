@@ -32,6 +32,22 @@ class ChannelConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability")
+        # A delayed datagram is postponed by 1..max_delay_slots rounds,
+        # drawn as integers(1, max_delay_slots + 1) — zero or a negative
+        # would crash the draw (low >= high) the first time reorder hits.
+        if self.max_delay_slots < 1:
+            raise ValueError("max_delay_slots must be >= 1")
+
+
+class ChannelStarvation(RuntimeError):
+    """A drain/pump round budget ran out with traffic still in flight."""
+
+    def __init__(self, channel: "Channel", max_rounds: int):
+        self.in_flight = len(channel._in_flight)
+        self.delayed = len(channel._delayed)
+        super().__init__(
+            f"channel not idle after {max_rounds} delivery rounds "
+            f"({self.in_flight} in flight, {self.delayed} delayed)")
 
 
 class Channel:
@@ -96,13 +112,19 @@ class Channel:
         return arriving
 
     def drain_all(self, max_rounds: int = 64) -> list[bytes]:
-        """Deliver until nothing is left in flight or delayed."""
+        """Deliver until nothing is left in flight or delayed.
+
+        Raises :class:`ChannelStarvation` if the round budget runs out
+        with traffic still queued — returning silently would report a
+        successful drain while datagrams are still stuck in the channel.
+        """
         out: list[bytes] = []
-        for _ in range(max_rounds):
-            batch = self.deliver()
-            out.extend(batch)
-            if not self._in_flight and not self._delayed:
-                break
+        rounds = 0
+        while not self.idle:
+            if rounds >= max_rounds:
+                raise ChannelStarvation(self, max_rounds)
+            out.extend(self.deliver())
+            rounds += 1
         return out
 
     @property
@@ -127,13 +149,19 @@ Handler = Callable[[bytes], None]
 
 
 def pump(channel: Channel, handler: Handler, max_rounds: int = 64) -> int:
-    """Deliver everything in *channel* into *handler*; returns count."""
+    """Deliver everything in *channel* into *handler*; returns count.
+
+    Like :meth:`Channel.drain_all`, raises :class:`ChannelStarvation`
+    instead of silently abandoning delayed datagrams when the round
+    budget is exhausted.
+    """
     count = 0
-    for _ in range(max_rounds):
-        batch = channel.deliver()
-        for datagram in batch:
+    rounds = 0
+    while not channel.idle:
+        if rounds >= max_rounds:
+            raise ChannelStarvation(channel, max_rounds)
+        for datagram in channel.deliver():
             handler(datagram)
             count += 1
-        if channel.idle:
-            break
+        rounds += 1
     return count

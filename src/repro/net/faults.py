@@ -1,0 +1,214 @@
+"""FaultPlan: seeded, scriptable chaos scenarios for the control plane.
+
+:class:`~repro.net.channel.Channel` injects per-datagram faults with
+*stationary* probabilities — good for steady background loss, useless
+for the failure shapes an open-Internet control path actually sees:
+bursts, outages, duplicate storms.  A :class:`FaultPlan` scripts the
+fault model *per delivery round*: an ordered list of
+:class:`FaultPhase` segments, each holding a ChannelConfig (and
+optionally a total blackout) for a number of rounds, cycling or holding
+its last phase.  :class:`ScriptedChannel` plays a plan over the normal
+channel machinery, so everything stays deterministic under a seed —
+the same plan + seed reproduces the same datagram-level history.
+
+Plans compose over any channel-based transport:
+:class:`~repro.control.transport.ChaosTransport` drives one plan per
+direction (asymmetric links are one line of configuration), and the
+named :data:`SCENARIOS` registry gives tests, benchmarks and CI a
+shared vocabulary ("burst-loss", "blackout", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.channel import Channel, ChannelConfig
+
+__all__ = [
+    "CLEAN",
+    "FaultPhase",
+    "FaultPlan",
+    "SCENARIOS",
+    "ScriptedChannel",
+    "blackout",
+    "burst_loss",
+    "duplicate_storm",
+    "reorder_heavy",
+    "scenario",
+    "scripted_duplex",
+]
+
+#: A fault-free channel configuration (shared default phase config).
+CLEAN = ChannelConfig()
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One scripted segment: a fault model held for *rounds* deliveries.
+
+    ``blackout`` drops every datagram that would be delivered during the
+    phase — including ones already delayed by earlier reordering — which
+    is stronger than ``loss=1.0`` (that only gates newly arriving
+    traffic).
+    """
+
+    rounds: int
+    config: ChannelConfig = CLEAN
+    blackout: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("a phase must cover at least one round")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named script of fault phases, indexed by delivery round.
+
+    With ``repeat=True`` the phase sequence cycles forever (periodic
+    impairments: burst loss, flapping links); with ``repeat=False`` the
+    last phase holds once reached (one-shot outages with a recovery
+    tail).  Scenario builders that end on a non-clean phase and do not
+    repeat would impair the link permanently — end one-shot plans with
+    a clean phase.
+    """
+
+    name: str
+    phases: tuple[FaultPhase, ...]
+    repeat: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a plan needs at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def period(self) -> int:
+        return sum(phase.rounds for phase in self.phases)
+
+    def phase_at(self, round_index: int) -> FaultPhase:
+        """The phase governing delivery round *round_index* (0-based)."""
+        if round_index < 0:
+            raise ValueError("round_index must be >= 0")
+        if self.repeat:
+            round_index %= self.period
+        for phase in self.phases:
+            if round_index < phase.rounds:
+                return phase
+            round_index -= phase.rounds
+        return self.phases[-1]  # past the end of a one-shot plan: hold
+
+
+class ScriptedChannel(Channel):
+    """A Channel whose fault model follows a :class:`FaultPlan`.
+
+    Each call to :meth:`deliver` advances the plan by one round and
+    applies that round's phase; everything else (seeding, stats,
+    drain/pump semantics) is inherited.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 1):
+        super().__init__(plan.phase_at(0).config, seed)
+        self.plan = plan
+        self.round_index = 0
+        self.blackout_dropped = 0
+
+    def deliver(self) -> list[bytes]:
+        phase = self.plan.phase_at(self.round_index)
+        self.round_index += 1
+        self.config = phase.config
+        batch = super().deliver()
+        if phase.blackout and batch:
+            self.blackout_dropped += len(batch)
+            self.dropped += len(batch)
+            self.delivered -= len(batch)
+            return []
+        return batch
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["blackout_dropped"] = self.blackout_dropped
+        return stats
+
+
+def scripted_duplex(plan: FaultPlan, seed: int = 1,
+                    return_plan: FaultPlan | None = None
+                    ) -> tuple[ScriptedChannel, ScriptedChannel]:
+    """A (client→device, device→client) scripted pair with distinct
+    seeds; pass *return_plan* for per-direction asymmetry."""
+    return (ScriptedChannel(plan, seed),
+            ScriptedChannel(return_plan or plan, seed + 0x9E37))
+
+
+# ---------------------------------------------------------------------------
+# Scenario builders
+# ---------------------------------------------------------------------------
+
+
+def burst_loss(period: int = 7, burst: int = 2,
+               loss: float = 0.9) -> FaultPlan:
+    """Periodic loss bursts: *burst* rounds of heavy loss out of every
+    *period* rounds (congestion episodes, not uniform attrition).
+
+    The default period is prime on purpose: the client's retry backoff
+    doubles its polling window each attempt, so a power-of-two period
+    phase-locks every retransmission into the same burst offset — the
+    deterministic analogue of synchronized retries melting a congested
+    link.  (Scripting exactly that is one line: pass ``period=8``.)
+    """
+    if not 0 < burst < period:
+        raise ValueError("need 0 < burst < period")
+    return FaultPlan("burst-loss", (
+        FaultPhase(burst, ChannelConfig(loss=loss)),
+        FaultPhase(period - burst),
+    ))
+
+
+def blackout(before: int = 3, duration: int = 6) -> FaultPlan:
+    """A one-shot total outage: *before* clean rounds, then *duration*
+    rounds where nothing gets through, then clean forever."""
+    return FaultPlan("blackout", (
+        FaultPhase(before),
+        FaultPhase(duration, blackout=True),
+        FaultPhase(1),
+    ), repeat=False)
+
+
+def duplicate_storm(duplicate: float = 0.85,
+                    reorder: float = 0.2) -> FaultPlan:
+    """Heavy duplication with mild reordering: the same response arrives
+    over and over, often out of order — the stale/duplicate-suppression
+    stress case."""
+    return FaultPlan("duplicate-storm", (
+        FaultPhase(1, ChannelConfig(duplicate=duplicate, reorder=reorder,
+                                    max_delay_slots=2)),
+    ))
+
+
+def reorder_heavy(reorder: float = 0.75, max_delay_slots: int = 4,
+                  duplicate: float = 0.1) -> FaultPlan:
+    """Most datagrams delayed several rounds: late responses from old
+    requests interleave with fresh ones."""
+    return FaultPlan("reorder-heavy", (
+        FaultPhase(1, ChannelConfig(reorder=reorder,
+                                    max_delay_slots=max_delay_slots,
+                                    duplicate=duplicate)),
+    ))
+
+
+#: Named scenarios shared by the chaos test-suite, benchmarks and CI.
+SCENARIOS: dict[str, "FaultPlan"] = {}
+
+
+def scenario(name: str) -> FaultPlan:
+    """Look up a named scenario ("burst-loss", "blackout", ...)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown fault scenario {name!r}; known: "
+                       f"{sorted(SCENARIOS)}") from None
+
+
+for _plan in (burst_loss(), blackout(), duplicate_storm(), reorder_heavy()):
+    SCENARIOS[_plan.name] = _plan
+del _plan

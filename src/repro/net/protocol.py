@@ -76,6 +76,51 @@ MAX_ACK_MISSING = 64
 
 
 # ---------------------------------------------------------------------------
+# Request tags (reliable-request extension)
+# ---------------------------------------------------------------------------
+#
+# The client may append a 4-byte trailer — magic, u16 sequence number,
+# closing magic — after any command payload; the device echoes the same
+# trailer on its response.  The trailer rides *behind* the structured
+# fields every decoder reads, so an untagged seed device simply ignores
+# it (all command codecs are prefix decoders and "trailing bytes ... are
+# ignored, as the paper specifies"), and a seed client never receives a
+# tag because the device only echoes what the request carried.  Tagged
+# clients use the echoed sequence number to tell a response to *this*
+# request apart from a stale or duplicated response to an earlier one.
+
+TAG_MAGIC = 0xA7
+TAG_CLOSE = 0x5A
+TAG_LEN = 4
+MAX_TAG_SEQ = 0xFFFF
+
+
+def encode_tag(seq: int) -> bytes:
+    """The 4-byte request-tag trailer for sequence number *seq*."""
+    if not 0 <= seq <= MAX_TAG_SEQ:
+        raise ProtocolError(f"tag sequence {seq} out of range")
+    return struct.pack("!BHB", TAG_MAGIC, seq, TAG_CLOSE)
+
+
+def tag_payload(payload: bytes, seq: int) -> bytes:
+    """Append a request tag to a command or response payload."""
+    return payload + encode_tag(seq)
+
+
+def _parse_tag(trailer: bytes) -> int | None:
+    """Decode a trailer as a request tag; None if it is not one.
+
+    Callers pass exactly the bytes *beyond* the structured payload, so a
+    data payload that happens to end in the magic bytes can never be
+    misread — only a trailer at the precise post-payload offset counts.
+    """
+    if (len(trailer) != TAG_LEN or trailer[0] != TAG_MAGIC
+            or trailer[3] != TAG_CLOSE):
+        return None
+    return struct.unpack("!H", trailer[1:3])[0]
+
+
+# ---------------------------------------------------------------------------
 # Command payload codecs
 # ---------------------------------------------------------------------------
 
@@ -151,15 +196,15 @@ class TraceRequest:
     length: int
 
 
-def decode_command(payload: bytes):
-    """Decode a command payload into its request object."""
+def _decode_command(payload: bytes):
+    """Decode a command payload; returns (request, structured_end)."""
     if not payload:
         raise ProtocolError("empty command payload")
     code = payload[0]
     if code == Command.LEON_STATUS:
-        return StatusRequest()
+        return StatusRequest(), 1
     if code == Command.RESTART:
-        return RestartRequest()
+        return RestartRequest(), 1
     if code == Command.LOAD_PROGRAM:
         if len(payload) < 11:
             raise ProtocolError("truncated LOAD_PROGRAM")
@@ -170,26 +215,39 @@ def decode_command(payload: bytes):
         # Bytes beyond `length` are ignored, per the paper.
         if not seq < total:
             raise ProtocolError(f"bad sequence {seq}/{total}")
-        return LoadChunk(seq, total, address, data)
+        return LoadChunk(seq, total, address, data), 11 + length
     if code == Command.START_LEON:
         if len(payload) < 5:
             raise ProtocolError("truncated START_LEON")
-        return StartRequest(struct.unpack("!I", payload[1:5])[0])
+        return StartRequest(struct.unpack("!I", payload[1:5])[0]), 5
     if code == Command.READ_TRACE:
         if len(payload) < 7:
             raise ProtocolError("truncated READ_TRACE")
         offset, length = struct.unpack("!IH", payload[1:7])
         if not 0 < length <= MAX_READ_BYTES:
             raise ProtocolError(f"trace read length {length} out of range")
-        return TraceRequest(offset, length)
+        return TraceRequest(offset, length), 7
     if code == Command.READ_MEMORY:
         if len(payload) < 7:
             raise ProtocolError("truncated READ_MEMORY")
         address, length = struct.unpack("!IH", payload[1:7])
         if not 0 < length <= MAX_READ_BYTES:
             raise ProtocolError(f"read length {length} out of range")
-        return ReadRequest(address, length)
+        return ReadRequest(address, length), 7
     raise ProtocolError(f"unknown command code 0x{code:02x}")
+
+
+def decode_command(payload: bytes):
+    """Decode a command payload into its request object."""
+    return _decode_command(payload)[0]
+
+
+def decode_command_tagged(payload: bytes):
+    """Decode a command and its optional request tag; returns
+    ``(request, seq | None)``.  Untagged (seed-format) payloads yield a
+    ``None`` tag."""
+    command, end = _decode_command(payload)
+    return command, _parse_tag(payload[end:])
 
 
 # ---------------------------------------------------------------------------
@@ -297,7 +355,8 @@ def _unpack(fmt: str, payload: bytes, offset: int, what: str) -> tuple:
     return struct.unpack(fmt, payload[offset:end])
 
 
-def decode_response(payload: bytes):
+def _decode_response(payload: bytes):
+    """Decode a response payload; returns (response, structured_end)."""
     if not payload:
         raise ProtocolError("empty response payload")
     code = payload[0]
@@ -307,38 +366,54 @@ def decode_response(payload: bytes):
             leon_state = LeonState(state)
         except ValueError:
             raise ProtocolError(f"unknown LEON state {state}") from None
-        return StatusResponse(leon_state, cycles)
+        return StatusResponse(leon_state, cycles), 6
     if code == Response.LOAD_ACK:
         received, total = _unpack("!HH", payload, 1, "LOAD_ACK")
         missing: tuple[int, ...] = ()
-        if len(payload) > 5:
+        end = 5
+        # A count byte can never exceed MAX_ACK_MISSING, so anything
+        # larger is not a missing list — on a tagged empty-missing ack
+        # it is the first trailer byte (TAG_MAGIC > MAX_ACK_MISSING).
+        if len(payload) > 5 and payload[5] <= MAX_ACK_MISSING:
             count = payload[5]
             missing = _unpack(f"!{count}H", payload, 6,
                               "LOAD_ACK missing list")
-        return LoadAck(received, total, missing)
+            end = 6 + 2 * count
+        return LoadAck(received, total, missing), end
     if code == Response.STARTED:
-        return Started(_unpack("!I", payload, 1, "STARTED")[0])
+        return Started(_unpack("!I", payload, 1, "STARTED")[0]), 5
     if code == Response.RESTARTED:
-        return Restarted()
+        return Restarted(), 1
     if code == Response.TRACE_DATA:
         total, offset, length = _unpack("!IIH", payload, 1, "TRACE_DATA")
         data = payload[11:11 + length]
         if len(data) < length:
             raise ProtocolError("TRACE_DATA shorter than its length field")
-        return TraceData(total, offset, data)
+        return TraceData(total, offset, data), 11 + length
     if code == Response.MEMORY_DATA:
         address, length = _unpack("!IH", payload, 1, "MEMORY_DATA")
         data = payload[7:7 + length]
         if len(data) < length:
             raise ProtocolError("MEMORY_DATA shorter than its length field")
-        return MemoryData(address, data)
+        return MemoryData(address, data), 7 + length
     if code == Response.ERROR:
         err, length = _unpack("!BB", payload, 1, "ERROR")
         text = payload[3:3 + length]
         if len(text) < length:
             raise ProtocolError("ERROR shorter than its length field")
-        return ErrorResponse(err, text.decode(errors="replace"))
+        return ErrorResponse(err, text.decode(errors="replace")), 3 + length
     raise ProtocolError(f"unknown response code 0x{code:02x}")
+
+
+def decode_response(payload: bytes):
+    return _decode_response(payload)[0]
+
+
+def decode_response_tagged(payload: bytes):
+    """Decode a response and its optional echoed request tag; returns
+    ``(response, seq | None)``."""
+    response, end = _decode_response(payload)
+    return response, _parse_tag(payload[end:])
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@ __all__ = [
     "collect_apb",
     "collect_cache",
     "collect_channel",
+    "collect_client",
     "collect_pipeline",
     "collect_sdram",
     "collect_sram",
@@ -113,6 +114,22 @@ def collect_sdram(controller, registry: MetricsRegistry) -> None:
     registry.counter("mem.sdram.handshakes").inc(controller.total_handshakes)
     registry.counter("mem.sdram.beats").inc(controller.total_beats)
     registry.counter("mem.sdram.row_misses").inc(controller.row_misses)
+
+
+_CLIENT_COUNTERS = ("retries", "stale_suppressed", "duplicates_suppressed",
+                    "backoff_rounds", "timeouts")
+
+
+def collect_client(client, registry: MetricsRegistry) -> None:
+    """Publish a :class:`~repro.control.client.LiquidClient`'s
+    reliability accounting as ``client.*`` series: total retries (plus a
+    per-command breakdown), suppressed stale/duplicate responses,
+    backoff rounds and timeouts."""
+    for name in _CLIENT_COUNTERS:
+        registry.counter(f"client.{name}").inc(getattr(client, name))
+    for command in sorted(client.retries_by_command):
+        registry.counter("client.retries", command=command).inc(
+            client.retries_by_command[command])
 
 
 _TRANSPORT_COUNTERS = ("sent_payloads", "received_payloads",

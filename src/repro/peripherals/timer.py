@@ -77,7 +77,19 @@ class Timer:
         elif offset == 0x4:
             self.reload = value
         elif offset == 0x8:
+            was_enabled = bool(self.control & CTRL_ENABLE)
+            now_enabled = bool(value & CTRL_ENABLE)
+            if was_enabled and not now_enabled:
+                # Latch the live value while it is still computable so a
+                # later re-enable resumes from here instead of rewinding
+                # to the last load anchor.
+                self._start_value = self.value()
+                self._start_cycle = self.clock.cycles
             self.control = value & 0x3
             if value & CTRL_LOAD:
                 self._start_value = self.reload
+                self._start_cycle = self.clock.cycles
+            elif now_enabled and not was_enabled:
+                # Re-anchor on the disabled->enabled edge: cycles that
+                # elapsed while the timer was off are not ticks.
                 self._start_cycle = self.clock.cycles

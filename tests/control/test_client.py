@@ -109,6 +109,163 @@ class TestClientLossy:
         assert transport.to_device.corrupted + transport.to_client.corrupted \
             > 0
 
+    def test_status_under_duplicate_and_reorder(self, platform):
+        client, transport = self._client(platform, duplicate=0.6,
+                                         reorder=0.4)
+        for _ in range(5):
+            assert client.status().state == LeonState.POLLING
+        assert transport.to_client.duplicated > 0
+        # The duplicated responses must have been suppressed, not
+        # silently consumed by later requests.
+        assert client.duplicates_suppressed + client.stale_suppressed > 0
+
+    def test_read_memory_under_duplicate_and_reorder(self, platform):
+        client, _ = self._client(platform, duplicate=0.5, reorder=0.5)
+        client.run_image(make_image(0x11223344))
+        addr = DEFAULT_MAP.result_addr
+        # Interleave reads of different ranges: every answer must match
+        # its own request even with late/duplicate MemoryData in flight.
+        for _ in range(3):
+            assert client.read_memory(addr, 4) == b"\x11\x22\x33\x44"
+            assert client.read_memory(addr + 4, 4) is not None
+            assert client.read_word(addr) == 0x11223344
+
+
+class EchoStaleTransport(DirectTransport):
+    """Replays every response payload it has ever delivered ahead of the
+    fresh traffic — the pathological mirror of a duplicating channel."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._history = []
+
+    def poll(self):
+        fresh = super().poll()
+        replay = list(self._history)
+        self._history.extend(fresh)
+        return replay + fresh
+
+
+class TestStaleResponseAliasing:
+    """Regression: a stale StatusResponse replayed by the network used
+    to satisfy a *new* status request, reporting the previous state."""
+
+    def _client(self):
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        transport = EchoStaleTransport(emulator, "128.252.153.2", 2000)
+        return LiquidClient(transport), emulator
+
+    def test_new_status_is_not_answered_by_an_old_one(self):
+        client, emulator = self._client()
+        assert client.status().state == LeonState.POLLING
+        client.load_binary(0x4000_1000, bytes(range(16)), chunk=8)
+        client.start(0x4000_1000)
+        # The wire now replays the old POLLING status ahead of the fresh
+        # answer; the request tag must reject it.
+        assert client.status().state == LeonState.DONE
+        assert client.duplicates_suppressed > 0
+
+    def test_replayed_memory_data_cannot_alias_a_new_read(self):
+        client, emulator = self._client()
+        emulator.memory[0:4] = b"\x01\x02\x03\x04"
+        base = emulator.memory_base
+        assert client.read_memory(base, 4) == b"\x01\x02\x03\x04"
+        emulator.memory[0:4] = b"\x0a\x0b\x0c\x0d"
+        # Same address, new content: the replay of the first answer
+        # passes the address predicate but not the tag check.
+        assert client.read_memory(base, 4) == b"\x0a\x0b\x0c\x0d"
+        assert client.duplicates_suppressed > 0
+
+    def test_suppressed_responses_still_reach_the_console(self):
+        client, _ = self._client()
+        client.status()
+        client.status()
+        # 3 recorded: two answers plus the replay of the first (shown to
+        # the operator, suppressed for request matching).
+        assert len(client.listener.of_type(type(client.listener.records[0]))) \
+            >= 3
+
+
+class TestListenerFormat:
+    """Regression: the console renderer grouped MemoryData into 4-byte
+    words and dropped any trailing partial word."""
+
+    def _memory_line(self, data, address=0x4000_0000):
+        from repro.net.protocol import MemoryData
+
+        listener = ResponseListener()
+        listener.record(MemoryData(address=address, data=data))
+        [line] = listener.console_lines()
+        return line
+
+    def test_trailing_partial_word_is_rendered(self):
+        line = self._memory_line(b"\xaa\xbb\xcc\xdd\xee")
+        assert "aabbccdd" in line
+        assert "ee" in line.split("aabbccdd")[1]
+
+    def test_short_read_is_not_hidden(self):
+        line = self._memory_line(b"\x01\x02\x03")
+        assert "010203" in line
+
+    def test_exact_words_unchanged(self):
+        line = self._memory_line(bytes(range(8)))
+        assert "00010203 04050607" in line
+        assert "..." not in line
+
+    def test_long_reads_still_elide(self):
+        line = self._memory_line(bytes(64))
+        assert line.endswith("...")
+
+
+class TestRetryPolicy:
+    def test_rounds_back_off_exponentially(self):
+        from repro.control import RetryPolicy
+
+        policy = RetryPolicy(attempts=4, poll_rounds=4, backoff=2.0,
+                             max_poll_rounds=12)
+        assert [policy.rounds_for(n) for n in range(4)] == [4, 8, 12, 12]
+
+    def test_validation(self):
+        from repro.control import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(poll_rounds=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(poll_rounds=8, max_poll_rounds=4)
+
+    def test_per_command_policy_override(self):
+        from repro.control import RetryPolicy
+
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        transport = DirectTransport(emulator, "128.252.153.2", 2000)
+        fast = RetryPolicy(attempts=1, poll_rounds=1, max_poll_rounds=1)
+        client = LiquidClient(transport, policies={"status": fast})
+        assert client.policy_for("status") is fast
+        assert client.policy_for("read") is client.base_policy
+        assert client.status().state == LeonState.POLLING
+
+    def test_untagged_responses_accepted_until_tags_confirmed(self):
+        """Seed-device compatibility: a device that never echoes tags
+        keeps working; once tags are seen, untagged responses (except
+        errors) are treated as stale."""
+        from repro.net.protocol import StatusResponse
+
+        emulator = HardwareEmulator("128.252.153.2", 2000)
+        client = LiquidClient(DirectTransport(emulator, "128.252.153.2",
+                                              2000))
+        response = StatusResponse(LeonState.POLLING, 0)
+        assert client._admit(response, None, {1})
+        client._tags_confirmed = True
+        assert not client._admit(response, None, {1})
+        assert client.stale_suppressed == 1
+        from repro.net.protocol import ErrorResponse
+
+        assert client._admit(ErrorResponse(0x13, "crash"), None, {1})
+
 
 class ChunkDroppingTransport(DirectTransport):
     """Direct transport whose wire eats the first transmission of chosen

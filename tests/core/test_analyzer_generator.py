@@ -137,6 +137,93 @@ class TestReconfigurationServer:
         assert ledger["cache"]["misses"] == 1
 
 
+def flaky_client_factory(failing_calls, error="timeout"):
+    """A ``client_factory`` whose client fails run_image on the given
+    0-based call indices (counted across all clients it builds)."""
+    from repro.control import (
+        ControlTimeout,
+        DeviceError,
+        DirectTransport,
+        LiquidClient,
+    )
+    from repro.net.protocol import ErrorResponse
+
+    state = {"calls": 0}
+
+    def factory(platform):
+        transport = DirectTransport(platform, platform.config.device_ip,
+                                    platform.config.control_port)
+
+        class FlakyClient(LiquidClient):
+            def run_image(self, image, **kwargs):
+                index = state["calls"]
+                state["calls"] += 1
+                if index in failing_calls:
+                    if error == "timeout":
+                        raise ControlTimeout(f"injected failure #{index}")
+                    raise DeviceError(ErrorResponse(0x20, "injected"))
+                return super().run_image(image, **kwargs)
+
+        return FlakyClient(transport)
+
+    return factory
+
+
+class TestRunQueueDegradation:
+    """Regression: one failed job used to abort the whole queue; now it
+    is retried once after a device restart, then recorded as failed."""
+
+    def test_transient_failure_is_retried_and_succeeds(self):
+        server = ReconfigurationServer(
+            client_factory=flaky_client_factory({0}))
+        image = compile_c_program("int main(void) { return 5; }")
+        server.submit(Job(image=image, config=ArchitectureConfig(),
+                          name="flaky"))
+        [result] = server.run_queue()
+        assert result.ok
+        assert result.attempts == 2
+        assert result.result_word == 5
+        assert server.jobs_retried == 1
+        assert server.jobs_failed == 0
+
+    def test_persistent_failure_recorded_queue_continues(self):
+        # Call 0 = job0, calls 1+2 = job1's two attempts, call 3 = job2.
+        server = ReconfigurationServer(
+            client_factory=flaky_client_factory({1, 2}))
+        image = compile_c_program("int main(void) { return 7; }")
+        for index in range(3):
+            server.submit(Job(image=image, config=ArchitectureConfig(),
+                              name=f"job{index}"))
+        results = server.run_queue()
+        assert [r.name for r in results] == ["job0", "job1", "job2"]
+        assert results[0].ok and results[2].ok
+        failed = results[1]
+        assert not failed.ok
+        assert failed.state.name == "ERROR"
+        assert failed.attempts == 2
+        assert "ControlTimeout" in failed.error
+        assert server.jobs_failed == 1
+        assert server.jobs_retried == 1
+        assert len(server.results) == 3
+
+    def test_device_error_degrades_the_same_way(self):
+        server = ReconfigurationServer(
+            client_factory=flaky_client_factory({0, 1}, error="device"))
+        image = compile_c_program("int main(void) { return 1; }")
+        server.submit(Job(image=image, config=ArchitectureConfig(),
+                          name="doomed"))
+        [result] = server.run_queue()
+        assert not result.ok
+        assert "DeviceError" in result.error
+        assert server.ledger()["jobs_failed"] == 1
+
+    def test_ledger_reports_degradation_counters(self):
+        server = ReconfigurationServer()
+        ledger = server.ledger()
+        assert ledger["jobs_retried"] == 0
+        assert ledger["jobs_failed"] == 0
+
+
 class TestArchitectureGenerator:
     @pytest.fixture(scope="class")
     def sweep_result(self):

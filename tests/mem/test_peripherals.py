@@ -116,6 +116,52 @@ class TestTimer:
         with pytest.raises(ValueError):
             Timer(Clock(), prescaler=0)
 
+    def test_late_enable_does_not_backdate_ticks(self):
+        """Regression: enabling without CTRL_LOAD used to leave the
+        anchor at the last load cycle, so every cycle since then was
+        counted as if the timer had been running the whole time."""
+        clock = Clock()
+        timer = Timer(clock)
+        timer.write_register(0x0, 50)
+        clock.advance(1000)                 # timer off: not ticks
+        timer.write_register(0x8, CTRL_ENABLE)
+        assert timer.read_register(0x0) == 50
+        clock.advance(20)
+        assert timer.read_register(0x0) == 30
+
+    def test_late_enable_underflows_only_from_the_edge(self):
+        clock = Clock()
+        timer = Timer(clock)
+        timer.write_register(0x0, 50)
+        clock.advance(1000)
+        timer.write_register(0x8, CTRL_ENABLE)
+        # Pre-fix this reported an underflow immediately (1000 phantom
+        # ticks against a 50-tick countdown).
+        assert timer.pending_underflows() == 0
+        clock.advance(51)
+        assert timer.pending_underflows() == 1
+
+    def test_disable_then_reenable_resumes_where_it_stopped(self):
+        clock = Clock()
+        timer = Timer(clock)
+        timer.write_register(0x0, 100)
+        timer.write_register(0x8, CTRL_ENABLE)
+        clock.advance(40)
+        timer.write_register(0x8, 0)        # pause at 60
+        clock.advance(500)
+        assert timer.read_register(0x0) == 60
+        timer.write_register(0x8, CTRL_ENABLE)
+        clock.advance(10)
+        assert timer.read_register(0x0) == 50
+
+    def test_enable_with_load_still_loads(self):
+        clock = Clock()
+        timer = Timer(clock)
+        timer.write_register(0x4, 7)
+        clock.advance(1000)
+        timer.write_register(0x8, CTRL_ENABLE | CTRL_LOAD)
+        assert timer.read_register(0x0) == 7
+
 
 class TestIrqController:
     def test_pending_level_respects_mask(self):

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.net.channel import Channel, ChannelConfig, duplex, pump
+from repro.net.channel import (
+    Channel,
+    ChannelConfig,
+    ChannelStarvation,
+    duplex,
+    pump,
+)
 
 
 def send_many(channel: Channel, count: int = 100) -> list[bytes]:
@@ -118,6 +124,64 @@ class TestFaults:
     def test_bad_probability_rejected(self):
         with pytest.raises(ValueError):
             ChannelConfig(loss=1.5)
+
+
+class TestConfigValidation:
+    """Regression: ``reorder > 0`` with ``max_delay_slots=0`` used to
+    pass validation, then crash the first time the reorder branch drew
+    ``integers(1, 1)`` (low >= high) mid-delivery."""
+
+    def test_zero_delay_slots_rejected(self):
+        with pytest.raises(ValueError, match="max_delay_slots"):
+            ChannelConfig(reorder=0.5, max_delay_slots=0)
+
+    def test_negative_delay_slots_rejected(self):
+        with pytest.raises(ValueError, match="max_delay_slots"):
+            ChannelConfig(max_delay_slots=-1)
+
+    def test_one_slot_is_the_floor_and_works(self):
+        channel = Channel(ChannelConfig(reorder=1.0, max_delay_slots=1),
+                          seed=4)
+        channel.send(b"x")
+        assert channel.deliver() == []
+        assert channel.deliver() == [b"x"]
+
+
+class TestStarvation:
+    """Regression: drain_all/pump used to run a fixed round count and
+    silently return with datagrams still delayed in the channel."""
+
+    def _stuffed(self):
+        # reorder=1.0 keeps every datagram bouncing between the delayed
+        # list and re-delivery, so a small budget cannot finish.
+        channel = Channel(ChannelConfig(reorder=1.0, max_delay_slots=3),
+                          seed=6)
+        send_many(channel, 50)
+        return channel
+
+    def test_drain_all_raises_instead_of_dropping(self):
+        with pytest.raises(ChannelStarvation, match="not idle after"):
+            self._stuffed().drain_all(max_rounds=1)
+
+    def test_pump_raises_instead_of_dropping(self):
+        channel = self._stuffed()
+        with pytest.raises(ChannelStarvation):
+            pump(channel, lambda datagram: None, max_rounds=1)
+
+    def test_starvation_reports_whats_stuck(self):
+        channel = Channel(ChannelConfig(reorder=1.0, max_delay_slots=3),
+                          seed=6)
+        channel.send(b"a")
+        channel.send(b"b")
+        with pytest.raises(ChannelStarvation) as excinfo:
+            channel.drain_all(max_rounds=1)
+        assert excinfo.value.in_flight + excinfo.value.delayed == 2
+
+    def test_generous_budget_still_drains_clean(self):
+        channel = self._stuffed()
+        delivered = channel.drain_all()
+        assert len(delivered) == 50
+        assert channel.idle
 
 
 class TestHelpers:

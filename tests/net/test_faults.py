@@ -1,0 +1,202 @@
+"""Chaos suite: the scripted fault harness, and every client command
+driven to completion under each named scenario.
+
+The device side is the hardware emulator (protocol-complete, no CPU
+model), so each scenario run exercises the full control stack — tags,
+retries, backoff, suppression — in milliseconds.
+"""
+
+import pytest
+
+from repro.control import ChaosTransport, HardwareEmulator, LiquidClient
+from repro.net.channel import ChannelConfig
+from repro.net.faults import (
+    SCENARIOS,
+    FaultPhase,
+    FaultPlan,
+    ScriptedChannel,
+    blackout,
+    burst_loss,
+    scenario,
+    scripted_duplex,
+)
+from repro.net.protocol import LeonState
+from repro.obs import MetricsRegistry
+
+DEVICE_IP = "128.252.153.2"
+PORT = 2000
+BASE = 0x4000_1000
+
+
+def make_client(plan, seed=11, to_client_plan=None):
+    emulator = HardwareEmulator(DEVICE_IP, PORT)
+    transport = ChaosTransport(emulator, DEVICE_IP, PORT, plan,
+                               to_client_plan=to_client_plan, seed=seed)
+    return LiquidClient(transport), transport, emulator
+
+
+def run_all_commands(client, emulator) -> dict:
+    """The web interface's full command set: status, load, start, read
+    memory, restart.  Returns a summary for determinism comparisons."""
+    blob = bytes(range(256))
+    assert client.status().state == LeonState.POLLING
+    transmissions = client.load_binary(BASE, blob, chunk=32)
+    started = client.start(BASE)
+    assert started.entry == BASE
+    offset = BASE - emulator.memory_base
+    assert bytes(emulator.memory[offset:offset + len(blob)]) == blob
+    assert client.read_memory(BASE + 8, 16) == blob[8:24]
+    client.restart()
+    assert client.status().state == LeonState.POLLING
+    return {
+        "transmissions": transmissions,
+        "reliability": client.reliability_stats(),
+        "console": client.listener.console_lines(),
+    }
+
+
+class TestFaultPlan:
+    def test_phases_cycle_when_repeating(self):
+        plan = burst_loss(period=4, burst=2)
+        lossy = [plan.phase_at(r).config.loss > 0 for r in range(8)]
+        assert lossy == [True, True, False, False] * 2
+
+    def test_one_shot_plan_holds_last_phase(self):
+        plan = blackout(before=2, duration=3)
+        assert not plan.phase_at(0).blackout
+        assert plan.phase_at(2).blackout
+        assert plan.phase_at(4).blackout
+        for r in range(5, 40):
+            assert not plan.phase_at(r).blackout
+
+    def test_plan_requires_phases(self):
+        with pytest.raises(ValueError):
+            FaultPlan("empty", ())
+
+    def test_phase_requires_rounds(self):
+        with pytest.raises(ValueError):
+            FaultPhase(0)
+
+    def test_scenario_lookup(self):
+        assert scenario("burst-loss").name == "burst-loss"
+        with pytest.raises(KeyError, match="unknown fault scenario"):
+            scenario("meteor-strike")
+
+    def test_registry_covers_the_documented_scenarios(self):
+        assert {"burst-loss", "blackout", "duplicate-storm",
+                "reorder-heavy"} <= set(SCENARIOS)
+
+
+class TestScriptedChannel:
+    def test_blackout_drops_even_delayed_datagrams(self):
+        # Round 0 delays the datagram past the boundary into the
+        # blackout window, where it must be eaten, not delivered.
+        plan = FaultPlan("edge", (
+            FaultPhase(1, ChannelConfig(reorder=1.0, max_delay_slots=1)),
+            FaultPhase(3, blackout=True),
+            FaultPhase(1),
+        ), repeat=False)
+        channel = ScriptedChannel(plan, seed=5)
+        channel.send(b"doomed")
+        assert channel.deliver() == []       # delayed by reorder
+        assert channel.deliver() == []       # due now, but blacked out
+        assert channel.idle
+        assert channel.blackout_dropped == 1
+        assert channel.dropped == 1
+        assert channel.stats()["blackout_dropped"] == 1
+
+    def test_clean_phases_deliver_normally(self):
+        channel = ScriptedChannel(blackout(before=2, duration=2), seed=1)
+        channel.send(b"early")
+        assert channel.deliver() == [b"early"]
+
+    def test_scripted_channel_is_deterministic(self):
+        def run(seed):
+            channel = ScriptedChannel(scenario("reorder-heavy"), seed=seed)
+            for i in range(50):
+                channel.send(bytes([i]))
+            out = []
+            while not channel.idle:
+                out.extend(channel.deliver())
+            return out, channel.stats()
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_scripted_duplex_asymmetry(self):
+        forward, back = scripted_duplex(scenario("blackout"), seed=2,
+                                        return_plan=scenario("burst-loss"))
+        assert forward.plan.name == "blackout"
+        assert back.plan.name == "burst-loss"
+
+
+class TestAllCommandsUnderChaos:
+    """Acceptance: all five commands complete under every scripted
+    scenario with fixed seeds, byte-identical across reruns."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_full_command_set_completes(self, name):
+        client, transport, emulator = make_client(scenario(name))
+        summary = run_all_commands(client, emulator)
+        assert client.timeouts == 0
+        # The channels must actually have misbehaved (the blackout plan
+        # shows up as blackout drops rather than random loss).
+        stats = transport.channel_stats()
+        faults = sum(stats[d][k] for d in stats
+                     for k in ("dropped", "duplicated", "reordered",
+                               "blackout_dropped"))
+        assert faults > 0, f"scenario {name} injected nothing"
+        assert summary["transmissions"] >= 8  # 256 B / 32 B chunks
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_rerun_is_byte_identical(self, name):
+        def run():
+            client, transport, emulator = make_client(scenario(name),
+                                                      seed=23)
+            summary = run_all_commands(client, emulator)
+            summary["channels"] = transport.channel_stats()
+            return summary
+
+        assert run() == run()
+
+    def test_asymmetric_direction_plans(self):
+        # Clean uplink, duplicate-storm return path: requests always
+        # arrive, every response is suppressed-duplicate fodder.
+        client, transport, emulator = make_client(
+            FaultPlan("clean", (FaultPhase(1),)),
+            to_client_plan=scenario("duplicate-storm"))
+        run_all_commands(client, emulator)
+        assert transport.to_device.duplicated == 0
+        assert transport.to_client.duplicated > 0
+        assert client.duplicates_suppressed > 0
+
+    def test_suppression_counters_surface_via_obs(self):
+        client, transport, emulator = make_client(
+            scenario("duplicate-storm"), seed=7)
+        run_all_commands(client, emulator)
+        registry = MetricsRegistry()
+        client.publish_obs(registry)
+        counters = registry.snapshot()["counters"]
+        assert counters["client.timeouts"] == 0
+        assert counters["client.duplicates_suppressed"] \
+            == client.duplicates_suppressed
+        assert counters["client.stale_suppressed"] \
+            == client.stale_suppressed
+        # The transport's channel accounting rides along.
+        assert counters["channel.duplicated{direction=to_client}"] \
+            == transport.to_client.duplicated
+
+    def test_burst_loss_forces_retries(self):
+        client, transport, emulator = make_client(
+            burst_loss(period=5, burst=3, loss=1.0), seed=3)
+        run_all_commands(client, emulator)
+        assert client.retries > 0
+        assert client.backoff_rounds > 0
+
+    def test_blackout_recovers_after_outage(self):
+        client, transport, emulator = make_client(
+            blackout(before=1, duration=8), seed=9)
+        summary = run_all_commands(client, emulator)
+        assert (transport.to_device.blackout_dropped
+                + transport.to_client.blackout_dropped) > 0
+        assert summary["reliability"]["timeouts"] == 0

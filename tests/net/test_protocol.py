@@ -184,11 +184,20 @@ class TestResponseDecoderFuzz:
 
     @given(count=st.integers(1, 255), body=st.binary(max_size=8))
     def test_load_ack_lying_count_byte(self, count, body):
-        """A count byte promising more entries than the datagram holds."""
+        """A count byte promising more entries than the datagram holds.
+
+        Counts above MAX_ACK_MISSING cannot be emitted by the encoder,
+        so the decoder treats that byte as trailer territory (a request
+        tag starts with TAG_MAGIC > MAX_ACK_MISSING) and returns an
+        empty missing list instead of failing.
+        """
         import struct
 
         payload = struct.pack("!BHHB", Response.LOAD_ACK, 1, 4, count) + body
-        if len(body) >= 2 * count:
+        if count > protocol.MAX_ACK_MISSING:
+            ack = decode_response(payload)
+            assert ack.missing == ()
+        elif len(body) >= 2 * count:
             ack = decode_response(payload)
             assert len(ack.missing) == count
         else:
