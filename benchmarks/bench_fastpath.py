@@ -1,0 +1,101 @@
+"""Two-speed execution engine: throughput and window-identity checks.
+
+The claim of record for the fast path: warming the Figure 8 workload on
+the :class:`~repro.cpu.fastpath.FunctionalUnit` sustains at least 5x the
+instruction throughput of the cycle-accurate engine, while the measured
+window after the handoff stays byte-identical to a cold accurate run.
+Wall-clock rates go into ``benchmark.extra_info`` so
+``pytest benchmarks/bench_fastpath.py --benchmark-only -s`` prints the
+comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.sim import Simulator
+
+from .conftest import figure7_image, print_table
+
+#: Acceptance floor: functional steps/s over accurate instructions/s.
+SPEEDUP_FLOOR = 5.0
+WARMUP_BUDGET = 60_000
+ROUNDS = 3
+
+
+def _accurate_rate(image) -> tuple[float, int]:
+    best, instructions = 0.0, 0
+    for _ in range(ROUNDS):
+        sim = Simulator(capture_memory_trace=False, obs=False)
+        start = time.perf_counter()
+        report = sim.run(image)
+        elapsed = time.perf_counter() - start
+        best = max(best, report.instructions / elapsed)
+        instructions = report.instructions
+    return best, instructions
+
+
+def _functional_rate(image) -> tuple[float, int]:
+    best, steps = 0.0, 0
+    for _ in range(ROUNDS):
+        sim = Simulator(capture_memory_trace=False, obs=False)
+        start = time.perf_counter()
+        sim.checkpoint(image, WARMUP_BUDGET)
+        elapsed = time.perf_counter() - start
+        best = max(best, sim.fastpath_instructions / elapsed)
+        steps = sim.fastpath_instructions
+    return best, steps
+
+
+def test_fastpath_throughput_floor(benchmark):
+    """Functional warmup vs cycle-accurate execution on the fig8 kernel."""
+    image = figure7_image()
+    accurate_rate, instructions = _accurate_rate(image)
+
+    result = {}
+
+    def measure():
+        result["rate"], result["steps"] = _functional_rate(image)
+        return result["rate"]
+
+    functional_rate = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = functional_rate / accurate_rate
+    benchmark.extra_info["accurate_instr_per_s"] = round(accurate_rate)
+    benchmark.extra_info["functional_steps_per_s"] = round(functional_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print_table(
+        "Two-speed engine throughput (fig8 kernel)",
+        ["engine", "rate (instr/s)", "work"],
+        [["cycle-accurate", f"{accurate_rate:,.0f}", instructions],
+         ["functional", f"{functional_rate:,.0f}", result["steps"]],
+         ["speedup", f"{speedup:.2f}x", f">= {SPEEDUP_FLOOR}x required"]])
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"functional fast path is only {speedup:.2f}x the accurate engine "
+        f"(floor {SPEEDUP_FLOOR}x)")
+
+
+def test_fast_forward_window_is_byte_identical(benchmark):
+    """fast_forward warmup must not perturb the measured window."""
+    image = figure7_image()
+
+    def canonical(report) -> str:
+        return json.dumps({
+            "cycles": report.cycles, "instructions": report.instructions,
+            "mix": report.instruction_mix, "dcache": report.dcache,
+            "icache": report.icache, "result_word": report.result_word,
+            "uart": report.uart_output.hex(), "obs": report.obs,
+        }, sort_keys=True, default=str)
+
+    def windowed():
+        return Simulator(capture_memory_trace=False).run(
+            image, fast_forward=WARMUP_BUDGET, warmup_engine="fast")
+
+    fast = benchmark.pedantic(windowed, rounds=1, iterations=1)
+    accurate = Simulator(capture_memory_trace=False).run(
+        image, fast_forward=WARMUP_BUDGET, warmup_engine="accurate")
+    assert canonical(fast) == canonical(accurate)
+    assert fast.instructions > 0
+    benchmark.extra_info["window_instructions"] = fast.instructions
+    benchmark.extra_info["warmup_instructions"] = \
+        fast.fastpath["warmup_instructions"]

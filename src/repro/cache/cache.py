@@ -125,6 +125,7 @@ class SetAssociativeCache:
             for _ in range(geometry.sets)
         ]
         self._clock = 0
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     # -- lookup -------------------------------------------------------------
@@ -211,6 +212,26 @@ class SetAssociativeCache:
         for ways in self._lines:
             for line in ways:
                 line.valid = False
+
+    def reset_replacement_state(self) -> None:
+        """Return the replacement machinery (LRU/LRR clock, seeded RNG)
+        to its power-on state.  Only meaningful right after
+        :meth:`invalidate_all` — with no valid lines the timestamps
+        carry no information — so this is purely a canonicalization step
+        for the fast-forward handoff."""
+        self._clock = 0
+        self._rng = np.random.default_rng(self._seed)
+        for ways in self._lines:
+            for line in ways:
+                line.last_use = 0
+                line.fill_order = 0
+
+    def rng_state(self) -> dict:
+        """Deterministic-RNG cursor (ArchState checkpointing)."""
+        return self._rng.bit_generator.state
+
+    def load_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
 
     def invalidate_line(self, address: int) -> None:
         line = self.probe(address)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.cache.cache import CacheGeometry, SetAssociativeCache
+from repro.cache.cache import CacheGeometry, CacheStats, SetAssociativeCache
 from repro.cache.prefetch import ISSUE_CYCLES, make_prefetcher
 from repro.mem.interface import MemoryPort
 
@@ -71,6 +71,7 @@ class CacheController:
         # list-of-ints so the miss path pays a bit_length + two adds.
         self.miss_cycle_buckets = [0] * 16
         self.miss_cycles_sum = 0
+        self._prefetch_policy = prefetch
         self.prefetcher = make_prefetcher(prefetch, geometry.line_size)
         # Line bases brought in speculatively but not yet demanded.
         self._speculative: set[int] = set()
@@ -199,6 +200,24 @@ class CacheController:
         self.cache.invalidate_all()
         self._speculative.clear()
         return self.flush_cycles
+
+    def reset_stats(self) -> None:
+        """Zero all accounting and retrain the speculative machinery.
+
+        Used by the fast-forward handoff: after a flush, this puts the
+        controller in the same canonical state it has right after
+        construction, so a measured window reports identically no matter
+        which engine (or checkpoint) produced the warmed-up machine.
+        """
+        self.cache.stats = CacheStats()
+        self.cache.reset_replacement_state()
+        self.fill_count = 0
+        self.bypass_count = 0
+        self.miss_cycle_buckets = [0] * 16
+        self.miss_cycles_sum = 0
+        self.prefetcher = make_prefetcher(self._prefetch_policy,
+                                          self.geometry.line_size)
+        self._speculative.clear()
 
     def stats_dict(self) -> dict:
         data = self.cache.stats.as_dict()

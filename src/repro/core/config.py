@@ -172,6 +172,25 @@ class ArchitectureConfig:
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
+    def arch_key(self) -> str:
+        """Stable hash of the *architectural* (timing-free) machine.
+
+        Two configurations with the same arch_key compute identical
+        results for every program: only the window count and the
+        instruction-set extensions change what the software can observe.
+        Caches, multiplier/divider datapaths, prefetchers and pipeline
+        depth are timing dimensions (a divider of "none" still divides —
+        it just costs differently).  This is the checkpoint-sharing key:
+        one warmed :class:`~repro.cpu.archstate.ArchState` serves every
+        config point with the same arch_key.
+        """
+        payload = json.dumps(
+            {"nwindows": self.nwindows,
+             "extensions": sorted((ext.name, ext.opf)
+                                  for ext in self.extensions)},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     def with_dcache_size(self, size: int) -> "ArchitectureConfig":
         """The paper's own sweep axis, as a one-liner."""
         return replace(self, dcache=CacheGeometry(

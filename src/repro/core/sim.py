@@ -29,6 +29,8 @@ from repro.cache import CacheController
 from repro.core.config import ArchitectureConfig
 from repro.core.rewriter import BUILTIN_RECIPES, install_recipes
 from repro.cpu import IntegerUnit
+from repro.cpu.archstate import ArchState
+from repro.cpu.fastpath import FastMemory, FunctionalUnit
 from repro.cpu.isa import (
     OP_BRANCH_SETHI,
     OP_CALL,
@@ -96,6 +98,10 @@ class SimReport:
     #: the same window the FPX cycle counter arms over.  Empty when the
     #: simulator was built with ``obs=False``.
     obs: dict = dataclass_field(default_factory=dict)
+    #: Two-speed provenance: how the machine reached the measured window
+    #: (warmup engine, fast-forwarded steps).  Empty for a cold whole-
+    #: program run; never part of the report's identity.
+    fastpath: dict = dataclass_field(default_factory=dict)
 
     @property
     def cpi(self) -> float:
@@ -136,9 +142,10 @@ class Simulator:
         self.cycle_counter = CycleCounter(self.clock)
 
         self.bus = AhbBus()
-        self.bus.attach(BootRom(memmap.prom_base, memmap.prom_size,
-                                rom_info.image),
-                        memmap.prom_base, memmap.prom_size, "prom")
+        self.prom = BootRom(memmap.prom_base, memmap.prom_size,
+                            rom_info.image)
+        self.bus.attach(self.prom, memmap.prom_base, memmap.prom_size,
+                        "prom")
         self.sram = SramBank(memmap.sram_base, memmap.sram_size)
         self.bus.attach(self.sram, memmap.sram_base, memmap.sram_size,
                         "sram")
@@ -162,6 +169,15 @@ class Simulator:
         if self.recorder is not None:
             self.recorder.attach(self.dcache)
 
+        # Two-speed execution accounting (published as the fastpath.*
+        # obs series).  Native ints, same convention as the CPU's stall
+        # counters.
+        self.fastpath_instructions = 0   # steps executed functionally
+        self.fastpath_retired = 0        # of which retired instructions
+        self.fastpath_handoffs = 0       # fast->accurate engine handoffs
+        self.checkpoint_captures = 0
+        self.checkpoint_restores = 0
+
         # Telemetry (repro.obs): cycle-stamped control-plane events plus
         # per-point metrics snapshots.  Disabled, both are no-ops.
         self.obs_enabled = obs
@@ -171,36 +187,199 @@ class Simulator:
                 self.cpu.cycles, "trap", tt=tt, pc=pc)
 
     # ------------------------------------------------------------------
+    # Two-speed execution: functional fast path + checkpoints
+    # ------------------------------------------------------------------
 
-    def run(self, image: Image,
-            max_instructions: int = 50_000_000) -> SimReport:
-        """Boot, dispatch *image*, run it to completion, report."""
+    def functional_unit(self) -> FunctionalUnit:
+        """A functional executor over this simulator's *live* machine.
+
+        Registers, control registers, decode cache, extensions and ASRs
+        are shared by reference with the cycle-accurate unit; memory is
+        the same SRAM/PROM byte arrays viewed flat, with the APB mapped
+        through so peripheral side effects land on the same devices.
+        Only PC/nPC/annul (copied in here) and the retirement counters
+        are private — :meth:`_sync_from_functional` copies them back.
+        """
         cpu = self.cpu
+        mem = FastMemory()
+        mem.add_region(self.memmap.prom_base, self.prom.data,
+                       writable=False, name="prom")
+        mem.add_region(self.memmap.sram_base, self.sram.data, name="sram")
+        mem.add_mmio(self.memmap.apb_base, self.memmap.apb_size, self.apb,
+                     name="apb")
+        fast = FunctionalUnit(mem, regs=cpu.regs, ctrl=cpu.ctrl,
+                              decode_cache=cpu.decode_cache,
+                              extensions=cpu.extensions, asr=cpu.asr,
+                              reset_pc=self.memmap.prom_base)
+        fast.pc, fast.npc, fast.annul = cpu.pc, cpu.npc, cpu.annul
+        fast.halted, fast.error_tt = cpu.halted, cpu.error_tt
+        fast.interrupt_source = cpu.interrupt_source
+        return fast
+
+    def _sync_from_functional(self, fast: FunctionalUnit) -> None:
+        """Fold a functional execution leg back into the live machine."""
+        cpu = self.cpu
+        cpu.pc, cpu.npc, cpu.annul = fast.pc, fast.npc, fast.annul
+        cpu.halted, cpu.error_tt = fast.halted, fast.error_tt
+        cpu.trap_count += fast.trap_count
+        self.fastpath_instructions += fast.cycles
+        self.fastpath_retired += fast.instret
+
+    @staticmethod
+    def _warmup(engine, budget: int, poll: int) -> int:
+        """Step *engine* up to *budget* times, stopping early if the
+        program finishes (returns to the boot ROM's polling loop).
+        Returns the steps actually executed.  Step-for-step identical on
+        either engine, so ``fast_forward=N`` lands on the same
+        architectural state no matter who executes the N steps."""
+        executed = 0
+        while executed < budget and engine.pc != poll:
+            engine.step()
+            executed += 1
+        return executed
+
+    def _normalize_window_start(self) -> None:
+        """Put the micro-architecture into the canonical handoff state.
+
+        The architectural state at a handoff is exact; the caches,
+        prefetchers and pipeline are not warmed by functional execution,
+        so a measured window always begins from flushed-and-reset
+        machinery.  Applying the same normalization after an *accurate*
+        warmup (or a checkpoint restore) is what makes the measured
+        window's report byte-identical across warmup engines.
+        """
+        self.icache.flush()
+        self.dcache.flush()
+        self.icache.reset_stats()
+        self.dcache.reset_stats()
+        self.cpu.pipeline.reset()
+
+    def checkpoint_memory(self) -> dict:
+        """ArchState protocol: name -> live byte buffer."""
+        return {"sram": self.sram.data}
+
+    def checkpoint_peripherals(self) -> dict:
+        """ArchState protocol: name -> device with state()/load_state()."""
+        return {"uart": self.uart, "leds": self.leds,
+                "cycle_counter": self.cycle_counter}
+
+    def checkpoint_rngs(self) -> dict:
+        """ArchState protocol: name -> seeded RNG holder."""
+        return {"icache": self.icache.cache, "dcache": self.dcache.cache}
+
+    def capture_state(self) -> ArchState:
+        """Checkpoint the current architectural state."""
+        state = ArchState.capture(self)
+        self.checkpoint_captures += 1
+        self.events.record(self.cpu.cycles, "checkpoint",
+                           retired=state.retired)
+        return state
+
+    def restore_state(self, state: ArchState) -> None:
+        """Adopt a previously captured architectural state."""
+        state.restore(self)
+        self.checkpoint_restores += 1
+
+    def checkpoint(self, image: Image, fast_forward: int,
+                   warmup_engine: str = "fast") -> ArchState:
+        """Boot, dispatch *image*, execute *fast_forward* steps of the
+        program, and capture the state at the handoff point.
+
+        The returned :class:`ArchState` can be restored into any
+        simulator whose configuration shares this one's *architectural*
+        shape (:meth:`ArchitectureConfig.arch_key`) — timing dimensions
+        like cache geometry are free to differ, which is what lets one
+        warmed checkpoint serve a whole sweep.
+        """
         poll = self.rom_info.poll_address
+        engine = self._boot_and_dispatch(image, warmup_engine)
+        self._warmup(engine, fast_forward, poll)
+        if isinstance(engine, FunctionalUnit):
+            self._sync_from_functional(engine)
+        return self.capture_state()
 
-        # Boot to the polling loop.
-        cpu.run(max_instructions=100_000, until_pc=poll)
+    def _boot_and_dispatch(self, image: Image, warmup_engine: str):
+        """Boot to the polling loop, load *image*, run to its entry.
+        Returns the engine (functional or cycle-accurate) that did it,
+        positioned at the program's first instruction."""
+        if warmup_engine not in ("fast", "accurate"):
+            raise ValueError(f"unknown warmup engine '{warmup_engine}'")
+        poll = self.rom_info.poll_address
+        engine = (self.functional_unit() if warmup_engine == "fast"
+                  else self.cpu)
+        engine.run(max_instructions=100_000, until_pc=poll)
+        self._load_image(image)
+        engine.run(max_instructions=10_000, until_pc=image.entry)
+        return engine
 
-        # Load the program and set the mailbox directly (the Sim box has
-        # no network: it plays leon_ctrl's role itself).
+    def _load_image(self, image: Image) -> None:
+        """Deposit the program and set the mailbox (the Sim box has no
+        network: it plays leon_ctrl's role itself)."""
         for base, blob in image.segments.items():
             self.sram.host_write(base, blob)
         self.sram.host_write_word(self.memmap.mailbox_start, image.entry)
 
-        # Instrument the program's execution only.
+    # ------------------------------------------------------------------
+
+    def run(self, image: Image | None = None,
+            max_instructions: int = 50_000_000, *,
+            fast_forward: int = 0,
+            warmup_engine: str = "fast",
+            from_checkpoint: ArchState | None = None) -> SimReport:
+        """Boot, dispatch *image*, run it to completion, report.
+
+        Two-speed execution: with ``fast_forward=N``, the boot sequence
+        and the program's first N steps execute on the functional fast
+        path (``warmup_engine="accurate"`` keeps them cycle-accurate —
+        the differential baseline), then the machine is normalized
+        (caches flushed, statistics zeroed) and handed to the
+        cycle-accurate engine, whose *measured window* covers only the
+        rest of the program.  ``from_checkpoint`` skips warmup entirely
+        by restoring an :class:`~repro.cpu.archstate.ArchState` captured
+        by :meth:`checkpoint` — no ``image`` needed, it lives in the
+        checkpoint's memory.  All three warm starts produce
+        byte-identical reports for the same window.
+
+        The default (``fast_forward=0``, no checkpoint) measures the
+        whole program cycle-accurately, exactly as before.
+        """
+        if fast_forward < 0:
+            raise ValueError("fast_forward must be >= 0")
+        cpu = self.cpu
+        poll = self.rom_info.poll_address
+
+        warmup_instructions = 0
+        if from_checkpoint is not None:
+            self.restore_state(from_checkpoint)
+            windowed = True
+            provenance = "checkpoint"
+        else:
+            if image is None:
+                raise ValueError(
+                    "run() needs an image unless from_checkpoint is given")
+            engine = self._boot_and_dispatch(image, warmup_engine
+                                             if fast_forward else "accurate")
+            if fast_forward:
+                warmup_instructions = self._warmup(engine, fast_forward, poll)
+            if isinstance(engine, FunctionalUnit):
+                self._sync_from_functional(engine)
+            windowed = fast_forward > 0
+            provenance = warmup_engine if windowed else "none"
+        if windowed:
+            self.fastpath_handoffs += 1
+            self._normalize_window_start()
+            self.events.record(cpu.cycles, "handoff", engine=provenance,
+                               warmup_instructions=warmup_instructions)
+
+        # Instrument the measured window only.
         mix: Counter[str] = Counter()
         cpu.on_retire = lambda pc, inst: mix.update((_classify(inst),))
         if self.recorder is not None:
             self.recorder.clear()
 
-        # Run to the program entry, snapshot, run until return-to-poll.
-        cpu.run(max_instructions=10_000, until_pc=image.entry)
         start_cycles, start_instret = cpu.cycles, cpu.instret
-        mix.clear()
-        if self.recorder is not None:
-            self.recorder.clear()
         before = simulator_snapshot(self) if self.obs_enabled else None
-        self.events.record(cpu.cycles, "dispatch", entry=image.entry)
+        self.events.record(cpu.cycles, "dispatch", entry=cpu.pc)
         cpu.run(max_instructions=max_instructions, until_pc=poll)
         cpu.on_retire = None
         self.events.record(cpu.cycles, "done",
@@ -217,6 +396,10 @@ class Simulator:
         else:
             trace = MemoryTrace(np.zeros(0, np.uint64), np.zeros(0, np.uint8),
                                 np.zeros(0, bool), np.zeros(0, bool))
+        fastpath = ({"fast_forward": fast_forward,
+                     "warmup_engine": provenance,
+                     "warmup_instructions": warmup_instructions}
+                    if windowed else {})
         return SimReport(
             cycles=cpu.cycles - start_cycles,
             instructions=cpu.instret - start_instret,
@@ -227,6 +410,47 @@ class Simulator:
             result_word=self.sram.host_read_word(self.memmap.result_addr),
             uart_output=self.uart.transmitted(),
             obs=obs,
+            fastpath=fastpath,
+        )
+
+    def run_functional(self, image: Image,
+                       max_instructions: int = 50_000_000) -> SimReport:
+        """Run *image* to completion entirely on the functional fast
+        path: full architectural fidelity (registers, traps, memory,
+        peripheral side effects), no timing at all.  ``cycles`` in the
+        report equals the window's step count (CPI 1.0 by construction)
+        and the cache sections are all-zero — this mode answers "what
+        does the program compute", not "how fast".
+        """
+        poll = self.rom_info.poll_address
+        fast = self._boot_and_dispatch(image, "fast")
+
+        mix: Counter[str] = Counter()
+        fast.on_retire = lambda pc, inst: mix.update((_classify(inst),))
+        start_steps, start_instret = fast.cycles, fast.instret
+        self.events.record(fast.cycles, "dispatch", entry=image.entry)
+        fast.run(max_instructions=max_instructions, until_pc=poll)
+        fast.on_retire = None
+        window = fast.cycles - start_steps
+        retired = fast.instret - start_instret
+        self.events.record(fast.cycles, "done", cycles=window)
+        self._sync_from_functional(fast)
+        self.sram.host_write_word(self.memmap.mailbox_start, 0)
+
+        empty_trace = MemoryTrace(np.zeros(0, np.uint64),
+                                  np.zeros(0, np.uint8),
+                                  np.zeros(0, bool), np.zeros(0, bool))
+        return SimReport(
+            cycles=window,
+            instructions=retired,
+            instruction_mix=dict(mix),
+            dcache=self.dcache.stats_dict(),
+            icache=self.icache.stats_dict(),
+            memory_trace=empty_trace,
+            result_word=self.sram.host_read_word(self.memmap.result_addr),
+            uart_output=self.uart.transmitted(),
+            obs={},
+            fastpath={"engine": "fast", "steps": window},
         )
 
 

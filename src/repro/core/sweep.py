@@ -44,7 +44,15 @@ from repro.toolchain.objfile import Image
 #: Bumped whenever the cached record layout changes; stale on-disk
 #: records are treated as misses rather than mis-parsed.
 #: v2: records carry the per-point ``obs`` metrics snapshot.
-SCHEMA_VERSION = 2
+#: v3: fingerprints gain a ``-ff<N>`` suffix for fast-forwarded sweeps,
+#: so windowed and whole-program measurements never collide.
+SCHEMA_VERSION = 3
+
+#: Layout version of persisted warmed checkpoints (see
+#: :meth:`ResultCache.put_checkpoint`); the wrapped
+#: :class:`~repro.cpu.archstate.ArchState` payload carries its own
+#: schema number on top of this.
+CHECKPOINT_SCHEMA = 1
 
 #: Default instruction budget per simulated point.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000
@@ -165,6 +173,9 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
+    checkpoint_stores: int = 0
 
     @property
     def hits(self) -> int:
@@ -172,7 +183,10 @@ class CacheStats:
 
     def as_dict(self) -> dict:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
-                "misses": self.misses, "stores": self.stores}
+                "misses": self.misses, "stores": self.stores,
+                "checkpoint_hits": self.checkpoint_hits,
+                "checkpoint_misses": self.checkpoint_misses,
+                "checkpoint_stores": self.checkpoint_stores}
 
 
 class ResultCache:
@@ -187,6 +201,7 @@ class ResultCache:
     def __init__(self, cache_dir: str | os.PathLike | None = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._memory: dict[tuple[str, str], dict] = {}
+        self._checkpoints: dict[tuple[str, str, int], dict] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -221,12 +236,62 @@ class ResultCache:
         self.stats.stores += 1
         if self.cache_dir is None:
             return
-        path = self._path(digest, fingerprint)
+        self._write(self._path(digest, fingerprint), record)
+
+    def _write(self, path: Path, record: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(record, sort_keys=True, indent=1)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(blob)
         os.replace(tmp, path)  # atomic: concurrent sweeps never see halves
+
+    # -- warmed checkpoints --------------------------------------------
+
+    def _checkpoint_path(self, digest: str, arch_key: str,
+                         fast_forward: int) -> Path:
+        assert self.cache_dir is not None
+        return (self.cache_dir / digest
+                / f"checkpoint-{arch_key}-ff{fast_forward}.json")
+
+    def get_checkpoint(self, digest: str, arch_key: str,
+                       fast_forward: int) -> dict | None:
+        """Return a warmed :class:`~repro.cpu.archstate.ArchState`
+        payload, or ``None``.  Keyed by (image digest, architectural
+        key, warmup length): every config sharing an ``arch_key()``
+        computes the same functional state, so one checkpoint serves
+        the whole family."""
+        key = (digest, arch_key, fast_forward)
+        payload = self._checkpoints.get(key)
+        if payload is not None:
+            self.stats.checkpoint_hits += 1
+            return payload
+        if self.cache_dir is not None:
+            path = self._checkpoint_path(digest, arch_key, fast_forward)
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                record = None
+            if (isinstance(record, dict)
+                    and record.get("schema") == CHECKPOINT_SCHEMA
+                    and record.get("fast_forward") == fast_forward):
+                payload = record["archstate"]
+                self._checkpoints[key] = payload
+                self.stats.checkpoint_hits += 1
+                return payload
+        self.stats.checkpoint_misses += 1
+        return None
+
+    def put_checkpoint(self, digest: str, arch_key: str, fast_forward: int,
+                       payload: dict) -> None:
+        """Persist a warmed ArchState payload (``ArchState.to_payload``)."""
+        self._checkpoints[(digest, arch_key, fast_forward)] = payload
+        self.stats.checkpoint_stores += 1
+        if self.cache_dir is None:
+            return
+        record = {"schema": CHECKPOINT_SCHEMA, "arch_key": arch_key,
+                  "fast_forward": fast_forward, "archstate": payload}
+        self._write(self._checkpoint_path(digest, arch_key, fast_forward),
+                    record)
 
 
 # ---------------------------------------------------------------------------
@@ -234,18 +299,29 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _evaluate_task(task: tuple[ArchitectureConfig, Image, int]
+def _evaluate_task(task: tuple[ArchitectureConfig, Image, int, dict | None]
                    ) -> tuple[dict, float]:
     """Simulate one point; returns (cacheable record, wall seconds).
 
     The memory trace is deliberately not captured: sweep points must be
     small, picklable and JSON-serializable, and the exploration loop
     only needs the aggregate report.
+
+    When *checkpoint* (a JSON-able ArchState payload) is present, the
+    simulator restores it and measures only from there — the two-speed
+    fast path.  The payload travels to worker processes as a plain dict,
+    which is what keeps this function picklable.
     """
-    config, image, max_instructions = task
+    config, image, max_instructions, checkpoint = task
     start = time.perf_counter()
-    report = Simulator(config, capture_memory_trace=False).run(
-        image, max_instructions=max_instructions)
+    sim = Simulator(config, capture_memory_trace=False)
+    if checkpoint is not None:
+        from repro.cpu.archstate import ArchState
+
+        report = sim.run(max_instructions=max_instructions,
+                         from_checkpoint=ArchState.from_payload(checkpoint))
+    else:
+        report = sim.run(image, max_instructions=max_instructions)
     utilization = SynthesisModel().estimate(config)
     record = {
         "schema": SCHEMA_VERSION,
@@ -278,6 +354,10 @@ class SweepStats:
     disk_hits: int = 0
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: Warmed checkpoints built fresh this sweep (one per distinct
+    #: (image, arch_key) family) vs. served from the result cache.
+    checkpoints_built: int = 0
+    checkpoint_hits: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -289,6 +369,8 @@ class SweepStats:
             "memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
             "wall_seconds": round(self.wall_seconds, 6),
             "sim_seconds": round(self.sim_seconds, 6),
+            "checkpoints_built": self.checkpoints_built,
+            "checkpoint_hits": self.checkpoint_hits,
         }
 
 
@@ -337,10 +419,21 @@ class SweepRunner:
 
     def sweep(self, space: Iterable[ArchitectureConfig],
               images: Image | Sequence[Image],
-              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
-              ) -> SweepOutcome:
-        """Evaluate every (image, config) pair; image-major order."""
+              max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+              fast_forward: int = 0) -> SweepOutcome:
+        """Evaluate every (image, config) pair; image-major order.
+
+        ``fast_forward > 0`` switches every point to two-speed mode:
+        per (image, ``arch_key()``) family one warmed checkpoint is
+        built (functional engine, no timing model), then every config
+        point of that family restores it and measures only the window
+        after it on the cycle-accurate engine.  Fingerprints gain a
+        ``-ff<N>`` suffix, so windowed results never collide with
+        whole-program records in the :class:`ResultCache`.
+        """
         started = time.perf_counter()
+        if fast_forward < 0:
+            raise ValueError("fast_forward must be >= 0")
         configs = list(space)
         if isinstance(images, Image):
             images = [images]
@@ -350,12 +443,13 @@ class SweepRunner:
             raise ValueError("sweep needs at least one config and one image")
 
         # Deterministic work list: (index, image, digest, config, fp).
+        suffix = f"-ff{fast_forward}" if fast_forward else ""
         entries = []
         for image in images:
             digest = image_digest(image)
             for config in configs:
                 entries.append((len(entries), image, digest, config,
-                                config.fingerprint()))
+                                config.fingerprint() + suffix))
 
         # Resolve cache hits up front; only misses are dispatched.
         cached: dict[int, tuple[dict, str]] = {}
@@ -364,13 +458,28 @@ class SweepRunner:
                 hit = self.cache.get(digest, fingerprint)
                 if hit is not None:
                     cached[index] = hit
-        tasks = [(config, image, max_instructions)
-                 for index, image, _, config, _ in entries
+
+        stats = SweepStats(points=len(entries))
+
+        # One warmed checkpoint per (image, arch_key) family — built
+        # only if some point of the family actually needs simulating.
+        checkpoints: dict[tuple[str, str], dict] = {}
+        if fast_forward:
+            for index, image, digest, config, _ in entries:
+                if index in cached:
+                    continue
+                key = (digest, config.arch_key())
+                if key in checkpoints:
+                    continue
+                checkpoints[key] = self._warm_checkpoint(
+                    image, digest, config, fast_forward, stats)
+
+        tasks = [(config, image, max_instructions,
+                  checkpoints.get((digest, config.arch_key())))
+                 for index, image, digest, config, _ in entries
                  if index not in cached]
 
         fresh = self._evaluate(tasks)
-
-        stats = SweepStats(points=len(entries))
         points: list[SweepPoint] = []
         for index, _, digest, config, fingerprint in entries:
             if index in cached:
@@ -399,12 +508,35 @@ class SweepRunner:
         self._publish_obs(stats)
         return SweepOutcome(points=points, stats=stats)
 
+    def _warm_checkpoint(self, image: Image, digest: str,
+                         config: ArchitectureConfig, fast_forward: int,
+                         stats: SweepStats) -> dict:
+        """Fetch or build the warmed ArchState payload for *config*'s
+        architectural family, updating *stats* and the result cache."""
+        arch_key = config.arch_key()
+        if self.cache is not None:
+            payload = self.cache.get_checkpoint(digest, arch_key,
+                                                fast_forward)
+            if payload is not None:
+                stats.checkpoint_hits += 1
+                return payload
+        state = Simulator(config, capture_memory_trace=False).checkpoint(
+            image, fast_forward)
+        payload = state.to_payload()
+        stats.checkpoints_built += 1
+        if self.cache is not None:
+            self.cache.put_checkpoint(digest, arch_key, fast_forward,
+                                      payload)
+        return payload
+
     def _publish_obs(self, stats: SweepStats) -> None:
         obs = self.obs
         obs.counter("sweep.points").inc(stats.points)
         obs.counter("sweep.simulated").inc(stats.simulated)
         obs.counter("sweep.memory_hits").inc(stats.memory_hits)
         obs.counter("sweep.disk_hits").inc(stats.disk_hits)
+        obs.counter("sweep.checkpoints_built").inc(stats.checkpoints_built)
+        obs.counter("sweep.checkpoint_hits").inc(stats.checkpoint_hits)
         obs.gauge("sweep.workers").set(self.workers)
         if stats.simulated and stats.wall_seconds > 0:
             lanes = max(self.workers, 1)

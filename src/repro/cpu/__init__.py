@@ -1,14 +1,19 @@
 """LEON2-style SPARC V8 soft-core model (the paper's processor substrate)."""
 
+from repro.cpu.archstate import ArchState
 from repro.cpu.decode import DecodedInstruction, decode
+from repro.cpu.fastpath import FastMemory, FunctionalUnit
 from repro.cpu.iu import IntegerUnit
 from repro.cpu.pipeline import PipelineModel, TimingConfig
 from repro.cpu.registers import ControlRegisters, RegisterFile
 from repro.cpu.traps import ErrorMode, TrapException, WatchdogExpired
 
 __all__ = [
+    "ArchState",
     "DecodedInstruction",
     "decode",
+    "FastMemory",
+    "FunctionalUnit",
     "IntegerUnit",
     "PipelineModel",
     "TimingConfig",

@@ -33,7 +33,7 @@ class RegisterFile:
     * 24..31 — ins (``%i0``–``%i7``).
     """
 
-    __slots__ = ("nwindows", "cwp", "_globals", "_window_regs")
+    __slots__ = ("nwindows", "cwp", "_globals", "_window_regs", "_size")
 
     def __init__(self, nwindows: int = isa.DEFAULT_NWINDOWS):
         if not (2 <= nwindows <= 32):
@@ -45,21 +45,22 @@ class RegisterFile:
         # where the low 16 are the outs+locals and the next 16 (i.e. the
         # outs+locals of window w+1) alias this window's ins.
         self._window_regs = [0] * (nwindows * 16)
+        self._size = nwindows * 16
 
     # -- raw slot resolution -------------------------------------------------
 
     def _slot(self, reg: int) -> int:
-        """Map window-relative register 8..31 to a circular-file slot."""
-        # outs of window w live at w*16+0..7, locals at w*16+8..15,
-        # ins alias the outs of window (w+1) mod nwindows.
-        if 8 <= reg <= 15:  # outs
-            return (self.cwp * 16 + (reg - 8)) % (self.nwindows * 16)
-        if 16 <= reg <= 23:  # locals
-            return (self.cwp * 16 + 8 + (reg - 16)) % (self.nwindows * 16)
-        if 24 <= reg <= 31:  # ins = outs of next window
-            return (((self.cwp + 1) % self.nwindows) * 16 + (reg - 24)) % (
-                self.nwindows * 16
-            )
+        """Map window-relative register 8..31 to a circular-file slot.
+
+        outs of window w live at w*16+0..7, locals at w*16+8..15, and
+        ins alias the outs of window (w+1) mod nwindows — which all
+        collapse to the one expression below: outs and locals are
+        ``w*16 + (reg-8)``, and ins are ``(w+1)*16 + (reg-24) =
+        w*16 + (reg-8)`` as well, modulo the file size.  ``read`` and
+        ``write`` inline this expression on their hot paths.
+        """
+        if 8 <= reg <= 31:
+            return (self.cwp * 16 + reg - 8) % self._size
         raise RegisterWindowError(f"register index {reg} is not windowed")
 
     # -- architectural access ------------------------------------------------
@@ -71,18 +72,19 @@ class RegisterFile:
         if reg < 8:
             return self._globals[reg]
         if reg < 32:
-            return self._window_regs[self._slot(reg)]
+            # Inlined _slot() — this is the simulator's hottest path.
+            return self._window_regs[(self.cwp * 16 + reg - 8) % self._size]
         raise RegisterWindowError(f"register index {reg} out of range")
 
     def write(self, reg: int, value: int) -> None:
         """Write window-relative register *reg*; writes to ``%g0`` vanish."""
         if reg == 0:
             return
-        value = u32(value)
+        value = value & 0xFFFFFFFF
         if reg < 8:
             self._globals[reg] = value
         elif reg < 32:
-            self._window_regs[self._slot(reg)] = value
+            self._window_regs[(self.cwp * 16 + reg - 8) % self._size] = value
         else:
             raise RegisterWindowError(f"register index {reg} out of range")
 
@@ -103,6 +105,25 @@ class RegisterFile:
             self.write(reg, value)
         finally:
             self.cwp = saved
+
+    def state(self) -> dict:
+        """Full raw-file snapshot (ArchState checkpointing) — every slot,
+        not just the current window's view."""
+        return {
+            "nwindows": self.nwindows,
+            "cwp": self.cwp,
+            "globals": list(self._globals),
+            "window_regs": list(self._window_regs),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state["nwindows"] != self.nwindows:
+            raise ValueError(
+                f"register snapshot has NWINDOWS={state['nwindows']}, "
+                f"this file has {self.nwindows}")
+        self.cwp = state["cwp"] % self.nwindows
+        self._globals[:] = state["globals"]
+        self._window_regs[:] = state["window_regs"]
 
     def snapshot(self) -> dict[str, int]:
         """Window-relative view of all 32 registers, for debugging/tests."""
@@ -206,6 +227,18 @@ class ControlRegisters:
         by the caller (illegal_instruction if >= NWINDOWS)."""
         keep = (0xF << isa.PSR_IMPL_SHIFT) | (0xF << isa.PSR_VER_SHIFT)
         self.psr = (self.psr & keep) | (u32(value) & ~keep)
+
+    # -- snapshot (ArchState checkpointing) ----------------------------------
+
+    def state(self) -> dict:
+        return {"psr": self.psr, "wim": self.wim, "tbr": self.tbr,
+                "y": self.y}
+
+    def load_state(self, state: dict) -> None:
+        self.psr = state["psr"]
+        self.wim = state["wim"]
+        self.tbr = state["tbr"]
+        self.y = state["y"]
 
     # -- TBR -----------------------------------------------------------------
 

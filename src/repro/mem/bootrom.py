@@ -23,6 +23,7 @@ time.  Layout (TBA = 0):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.mem.interface import BusError
 from repro.mem.memmap import MemoryMap
@@ -246,8 +247,20 @@ error_state:
 
 def build_boot_rom(memmap: MemoryMap | None = None, nwindows: int = 8,
                    modified: bool = True) -> BootRomInfo:
-    """Assemble the boot PROM image at the PROM base."""
-    memmap = memmap or MemoryMap()
+    """Assemble the boot PROM image at the PROM base.
+
+    Memoised: the source depends only on the (hashable) memory map and
+    the window count, and assembling the ~1000-line trap table dominates
+    Simulator construction — which the differential test suite does
+    hundreds of times per run.  Callers must treat the returned
+    :class:`BootRomInfo` (including ``symbols``) as immutable.
+    """
+    return _build_boot_rom_cached(memmap or MemoryMap(), nwindows, modified)
+
+
+@lru_cache(maxsize=32)
+def _build_boot_rom_cached(memmap: MemoryMap, nwindows: int,
+                           modified: bool) -> BootRomInfo:
     source = (modified_boot_source if modified else original_boot_source)(
         memmap, nwindows)
     obj = assemble(source, "bootrom.s")

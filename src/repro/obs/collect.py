@@ -36,6 +36,7 @@ __all__ = [
     "collect_cache",
     "collect_channel",
     "collect_client",
+    "collect_fastpath",
     "collect_pipeline",
     "collect_sdram",
     "collect_sram",
@@ -89,6 +90,21 @@ def collect_cache(controller, registry: MetricsRegistry) -> None:
                          cache=label).inc(pstats.issued)
         registry.counter("cache.prefetch_useful",
                          cache=label).inc(pstats.useful)
+
+
+def collect_fastpath(sim, registry: MetricsRegistry) -> None:
+    """Publish the two-speed execution accounting: steps executed on the
+    functional fast path, fast->accurate handoffs, and checkpoint
+    capture/restore counts.  Declared at zero for simulators that never
+    fast-forward so every snapshot keeps the same schema."""
+    registry.counter("fastpath.instructions").inc(
+        getattr(sim, "fastpath_instructions", 0))
+    registry.counter("fastpath.handoffs").inc(
+        getattr(sim, "fastpath_handoffs", 0))
+    registry.counter("fastpath.checkpoint_captures").inc(
+        getattr(sim, "checkpoint_captures", 0))
+    registry.counter("fastpath.checkpoint_restores").inc(
+        getattr(sim, "checkpoint_restores", 0))
 
 
 def collect_ahb(bus, registry: MetricsRegistry) -> None:
@@ -171,6 +187,7 @@ def simulator_snapshot(sim) -> dict:
     construction — diff two of these for a program-window view)."""
     registry = MetricsRegistry()
     collect_pipeline(sim.cpu, registry)
+    collect_fastpath(sim, registry)
     collect_cache(sim.icache, registry)
     collect_cache(sim.dcache, registry)
     collect_ahb(sim.bus, registry)

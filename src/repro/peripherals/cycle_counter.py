@@ -54,6 +54,27 @@ class CycleCounter:
             return elapsed if elapsed > 0 else 0
         return self._frozen_value
 
+    # -- snapshot (ArchState checkpointing) --------------------------------
+
+    def state(self) -> dict:
+        """Explicit snapshot of the full counter state.
+
+        The arm anchor and the frozen count were previously private
+        (``_armed_at``/``_frozen_value``), so checkpointing code could
+        not capture a counter mid-measurement without reaching into
+        implementation details; this is the supported surface.
+        """
+        return {
+            "running": self.running,
+            "armed_at": self._armed_at,
+            "frozen_value": self._frozen_value,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.running = state["running"]
+        self._armed_at = state["armed_at"]
+        self._frozen_value = state["frozen_value"]
+
     # -- APB register interface --------------------------------------------
 
     def read_register(self, offset: int) -> int:

@@ -27,6 +27,15 @@ class LedPort:
             self.history.append((self.clock.cycles, value))
         self.value = value
 
+    def state(self) -> dict:
+        """JSON-able snapshot (ArchState checkpointing)."""
+        return {"value": self.value,
+                "history": [list(entry) for entry in self.history]}
+
+    def load_state(self, state: dict) -> None:
+        self.value = state["value"]
+        self.history = [tuple(entry) for entry in state["history"]]
+
     def pattern(self) -> str:
         """Current LED state as a string of '#'/'.' (MSB first)."""
         return "".join(

@@ -56,6 +56,25 @@ class Uart:
         elif offset == 0xC:
             self.scaler = value & 0xFFF
 
+    # -- snapshot (ArchState checkpointing) --------------------------------------
+
+    def state(self) -> dict:
+        """JSON-able snapshot of everything a checkpoint must preserve."""
+        return {
+            "rx_fifo": list(self.rx_fifo),
+            "tx_log": list(self.tx_log),
+            "control": self.control,
+            "scaler": self.scaler,
+            "interrupt_pending": self.interrupt_pending,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.rx_fifo = deque(state["rx_fifo"])
+        self.tx_log = list(state["tx_log"])
+        self.control = state["control"]
+        self.scaler = state["scaler"]
+        self.interrupt_pending = state["interrupt_pending"]
+
     # -- host side ---------------------------------------------------------------
 
     def host_send(self, data: bytes) -> None:

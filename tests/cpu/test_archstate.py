@@ -1,0 +1,120 @@
+"""Property tests for ArchState capture/restore (the two-speed engine's
+correctness keystone).
+
+The property that matters: *restore-then-run equals run-straight-
+through, byte for byte* — same final architectural state (every window,
+control registers, memory image, peripheral counters), same UART bytes,
+same result word.  Programs come from the differential suite's seeded
+generator, so the explored state space includes window traps, MMIO side
+effects and multiply/divide traffic, not just straight-line ALU code.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sim import Simulator
+from repro.cpu.archstate import ArchState
+from tests.difftest import gen
+from tests.difftest.harness import build
+
+SEEDS = st.integers(min_value=0, max_value=500)
+STEPS = st.integers(min_value=0, max_value=4000)
+
+#: Each example boots and runs real simulators; cap the count and drop
+#: the per-example deadline so slow hosts don't flake.
+EXAMPLE_SETTINGS = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@functools.lru_cache(maxsize=64)
+def _image(seed: int):
+    return build(gen.generate(seed))
+
+
+@given(seed=SEEDS, steps=STEPS)
+@EXAMPLE_SETTINGS
+def test_capture_restore_round_trip(seed, steps):
+    """restore(capture(sim)) into a fresh simulator reproduces the
+    captured state exactly (and the digest is stable)."""
+    warm = Simulator(capture_memory_trace=False, obs=False)
+    state = warm.checkpoint(_image(seed), steps)
+
+    fresh = Simulator(capture_memory_trace=False, obs=False)
+    fresh.restore_state(state)
+    again = fresh.capture_state()
+
+    assert again == state
+    assert again.digest() == state.digest()
+
+
+@given(seed=SEEDS, steps=STEPS)
+@EXAMPLE_SETTINGS
+def test_restore_then_run_equals_straight_through(seed, steps):
+    """Fast-forward N steps, checkpoint, restore into a *different*
+    simulator, finish there — the final machine must be byte-identical
+    to a cold cycle-accurate run, peripheral counters included."""
+    image = _image(seed)
+
+    straight = Simulator(capture_memory_trace=False, obs=False)
+    report_straight = straight.run(image)
+    final_straight = ArchState.capture(straight)
+
+    warm = Simulator(capture_memory_trace=False, obs=False)
+    state = warm.checkpoint(image, steps)
+    resumed = Simulator(capture_memory_trace=False, obs=False)
+    report_resumed = resumed.run(from_checkpoint=state)
+    final_resumed = ArchState.capture(resumed)
+
+    assert final_resumed == final_straight
+    assert report_resumed.uart_output == report_straight.uart_output
+    assert report_resumed.result_word == report_straight.result_word
+
+
+@given(seed=SEEDS, steps=STEPS)
+@EXAMPLE_SETTINGS
+def test_payload_round_trip(seed, steps):
+    """to_payload -> JSON text -> from_payload is lossless, and the
+    reconstructed state still restores into a working simulator."""
+    warm = Simulator(capture_memory_trace=False, obs=False)
+    state = warm.checkpoint(_image(seed), steps)
+
+    wire = json.loads(json.dumps(state.to_payload()))
+    back = ArchState.from_payload(wire)
+    assert back == state
+    assert back.digest() == state.digest()
+
+    resumed = Simulator(capture_memory_trace=False, obs=False)
+    report = resumed.run(from_checkpoint=back)
+    cold = Simulator(capture_memory_trace=False, obs=False)
+    assert report.uart_output == cold.run(_image(seed)).uart_output
+
+
+def test_payload_schema_is_checked():
+    warm = Simulator(capture_memory_trace=False, obs=False)
+    payload = warm.checkpoint(_image(0), 100).to_payload()
+    payload["schema"] = 999
+    try:
+        ArchState.from_payload(payload)
+    except ValueError as err:
+        assert "schema" in str(err)
+    else:
+        raise AssertionError("stale schema accepted")
+
+
+def test_restore_rejects_mismatched_memory_size():
+    warm = Simulator(capture_memory_trace=False, obs=False)
+    state = warm.checkpoint(_image(0), 100)
+    state.memory["sram"] = state.memory["sram"][:-1]
+    fresh = Simulator(capture_memory_trace=False, obs=False)
+    try:
+        fresh.restore_state(state)
+    except ValueError as err:
+        assert "sram" in str(err)
+    else:
+        raise AssertionError("truncated memory image accepted")

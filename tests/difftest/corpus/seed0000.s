@@ -1,0 +1,110 @@
+! regression corpus: representative program, seed 0
+! register windows: recursion past NWINDOWS, calls, loops, MMIO
+! replayed by test_corpus_replays on every run
+! difftest program, seed 0
+    .text
+    .global _start
+_start:
+    set 1075838848, %sp
+    set 1073811456, %g6
+    set 2147483760, %g7
+    set 3545250317, %g1
+    set 3487067065, %g2
+    set 933503259, %g3
+    set 914218366, %g4
+    set 4163970415, %g5
+    set 2982557224, %o0
+    set 996734405, %o1
+    set 2324617517, %o2
+    set 843916758, %o3
+    set 1685386453, %o4
+    set 1391875955, %o5
+    set 4185341775, %l0
+    set 2612907801, %l1
+    set 3010592402, %l2
+    set 1687861787, %l3
+    set 3422047538, %l4
+    set 4150369506, %l5
+    set 2026051832, %l6
+    set 1697423473, %l7
+    set 1633336131, %i0
+    set 2069841139, %i1
+    set 3013161169, %i2
+    set 3299923665, %i3
+    set 29285966, %i5
+    stb %l5, [%g7]
+    stb %o4, [%g7]
+    set 7, %o0
+    call R0_1
+    nop
+    st %o3, [%g6 + 2532]
+    ldsh [%g6 + 3694], %g5
+    ldsb [%g6 + 1933], %l6
+    xorcc %o1, %l5, %i1
+    addx %g1, 2438, %l6
+    sll %i1, 21, %i2
+    addx %i3, %l7, %o5
+    orn %l6, %o5, %g5
+    call F0_4
+    nop
+    orncc %o3, %i2, %i2
+    sll %g2, 25, %g5
+    smul %o3, %o1, %l5
+    call F0_6
+    nop
+    smul %g5, %g2, %g4
+    umul %l6, %g1, %i1
+    xnor %i0, %g3, %o1
+    xnorcc %g2, %o0, %g4
+    sra %o1, 1, %l4
+    set 2, %i0
+L0_8_top:
+    andcc %i2, %o0, %g3
+    xnorcc %g2, %l1, %l3
+    deccc %i0
+    bg L0_8_top
+    nop
+    smul %l7, %i3, %l4
+    sll %i2, 21, %g2
+    orn %i0, -3880, %g4
+    xor %l7, 1755, %l2
+    cmp %i3, %g1
+    bgu,a L0_10_skip
+    addcc %o5, -1887, %g3
+    sra %l0, %l0, %l4
+L0_10_skip:
+    stb %i1, [%g6 + 3395]
+    ldd [%g6 + 784], %i0
+    ldd [%g6 + 2608], %o2
+    set 1073741832, %g1
+    st %l0, [%g1]
+    ta 0
+    nop
+R0_1:
+    save %sp, -96, %sp
+    subcc %i0, 1, %o0
+    bg R0_1_rec
+    nop
+    ba R0_1_done
+    nop
+R0_1_rec:
+    call R0_1
+    nop
+R0_1_done:
+    ret
+    restore
+F0_4:
+    save %sp, -96, %sp
+    mulscc %l2, %l2, %i0
+    umulcc %l1, %l3, %i0
+    andn %l3, 660, %i2
+    ret
+    restore
+F0_6:
+    save %sp, -96, %sp
+    umulcc %i0, %l3, %l3
+    andncc %i1, %i0, %i1
+    andn %i1, -115, %i0
+    mulscc %l0, %i2, %l2
+    ret
+    restore

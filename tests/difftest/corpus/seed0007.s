@@ -1,0 +1,92 @@
+! regression corpus: representative program, seed 7
+! multiply/divide unit with %y setup
+! replayed by test_corpus_replays on every run
+! difftest program, seed 7
+    .text
+    .global _start
+_start:
+    set 1075838848, %sp
+    set 1073811456, %g6
+    set 2147483760, %g7
+    set 3522807625, %g1
+    set 259161490, %g2
+    set 1414995440, %g3
+    set 1400358789, %g4
+    set 3490621092, %g5
+    set 1876001825, %o0
+    set 3067164726, %o1
+    set 3828070507, %o2
+    set 1329644262, %o3
+    set 2079370739, %o4
+    set 4187804244, %o5
+    set 1815630171, %l0
+    set 4007093915, %l1
+    set 85451517, %l2
+    set 382576753, %l3
+    set 2769667482, %l4
+    set 1821867176, %l5
+    set 1423008359, %l6
+    set 1547139803, %l7
+    set 298370542, %i0
+    set 2296274677, %i1
+    set 1212662561, %i2
+    set 3911646471, %i3
+    set 3508430798, %i5
+    wr %g0, 0, %y
+    or %g2, 1, %g2
+    udiv %i1, %g2, %l1
+    stb %g2, [%g7]
+    call F7_2
+    nop
+    set 1, %l1
+L7_3_top:
+    orcc %o4, %g4, %g5
+    deccc %l1
+    bg L7_3_top
+    nop
+    set 3, %l6
+L7_4_top:
+    srl %o1, %i5, %i2
+    deccc %l6
+    bg L7_4_top
+    nop
+    sra %i2, 20, %l4
+    andcc %l0, %o0, %l3
+    ldd [%g6 + 2144], %o4
+    ldsb [%g6 + 2494], %g3
+    ldd [%g6 + 672], %l2
+    xorcc %g3, 1044, %i2
+    orncc %i0, 3378, %l0
+    orncc %o3, -3032, %g3
+    taddcc %o4, 3205, %i3
+    andncc %i2, %l3, %l1
+    cmp %o1, %o4
+    bne L7_8_skip
+    or %l1, 4038, %o2
+    and %l6, 2957, %l1
+L7_8_skip:
+    call F7_9
+    nop
+    sub %o5, -3212, %l7
+    or %l6, %l1, %i2
+    addcc %l1, %o1, %i1
+    xnorcc %o5, %g1, %g4
+    srl %g4, 4, %l6
+    smul %l1, %i1, %i0
+    set 1073741832, %g1
+    st %l0, [%g1]
+    ta 0
+    nop
+F7_2:
+    save %sp, -96, %sp
+    addx %l3, %i0, %l3
+    addxcc %i0, -3083, %i2
+    ret
+    restore
+F7_9:
+    save %sp, -96, %sp
+    srl %i1, 9, %l2
+    tsubcc %l1, %l3, %l1
+    umulcc %l2, %l0, %l1
+    ret
+    restore

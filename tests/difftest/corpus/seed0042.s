@@ -1,0 +1,76 @@
+! regression corpus: representative program, seed 42
+! broad ALU/branch/memory mix
+! replayed by test_corpus_replays on every run
+! difftest program, seed 42
+    .text
+    .global _start
+_start:
+    set 1075838848, %sp
+    set 1073811456, %g6
+    set 2147483760, %g7
+    set 4223534803, %g1
+    set 740870614, %g2
+    set 2325103903, %g3
+    set 171490704, %g4
+    set 3814202139, %g5
+    set 4216890743, %o0
+    set 3650604258, %o1
+    set 992510248, %o2
+    set 3515393856, %o3
+    set 1708410302, %o4
+    set 2132712779, %o5
+    set 3368528203, %l0
+    set 395359080, %l1
+    set 458502570, %l2
+    set 2067600710, %l3
+    set 495463992, %l4
+    set 62569641, %l5
+    set 2820632142, %l6
+    set 1147694708, %l7
+    set 3697666958, %i0
+    set 2706489647, %i1
+    set 1157215753, %i2
+    set 194125845, %i3
+    set 1138151639, %i5
+    addxcc %i5, -2672, %g5
+    sll %g1, %l5, %g2
+    sra %o1, 26, %l6
+    add %o3, -1481, %l7
+    stb %g3, [%g6 + 418]
+    stb %o3, [%g6 + 2472]
+    ldsh [%g6 + 510], %l1
+    ldd [%g6 + 3392], %o4
+    set 2, %i3
+L42_2_top:
+    sll %g3, 24, %o4
+    deccc %i3
+    bg L42_2_top
+    nop
+    tsubcc %o1, %i2, %l0
+    sll %i1, 15, %i0
+    taddcc %o3, -498, %l1
+    sll %o2, 25, %g2
+    umulcc %i3, %o1, %l7
+    srl %i1, %g5, %l1
+    and %l6, 2923, %l6
+    call F42_5
+    nop
+    set 1, %l6
+L42_6_top:
+    srl %l7, 21, %i3
+    orn %o0, %o3, %l2
+    umul %l5, %i2, %o0
+    deccc %l6
+    bg L42_6_top
+    nop
+    set 1073741832, %g1
+    st %l0, [%g1]
+    ta 0
+    nop
+F42_5:
+    save %sp, -96, %sp
+    orncc %i0, %l0, %l1
+    smul %i1, %i2, %l1
+    srl %l0, 29, %i0
+    ret
+    restore

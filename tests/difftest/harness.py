@@ -1,0 +1,84 @@
+"""Differential harness: run one program on both execution engines and
+compare everything the architecture defines.
+
+A program passes when the cycle-accurate :class:`IntegerUnit` and the
+functional :class:`FunctionalUnit` finish with equal
+:class:`~repro.cpu.archstate.ArchState` (registers in every window,
+control registers, the full memory image, peripheral state, retired
+instruction and trap counts) *and* the same UART byte stream and result
+word.  Any divergence is an engine bug by construction — the two share
+decode and execute, so only the parts that differ (fetch/memory path,
+timing shims) can be at fault.
+"""
+
+from __future__ import annotations
+
+from repro.core.sim import Simulator
+from repro.cpu.archstate import ArchState
+from repro.toolchain.driver import SourceFile, build_image
+
+#: Generated programs are short; this bounds runaway loops/recursion.
+MAX_INSTRUCTIONS = 2_000_000
+
+
+def build(asm_text: str):
+    return build_image([SourceFile(asm_text, "asm", "difftest.s")],
+                       with_crt0=False, entry_symbol="_start")
+
+
+def compare_engines(asm_text: str) -> list[str]:
+    """Run on both engines; return mismatch descriptions (empty = pass)."""
+    image = build(asm_text)
+
+    accurate = Simulator(capture_memory_trace=False, obs=False)
+    report_a = accurate.run(image, max_instructions=MAX_INSTRUCTIONS)
+    functional = Simulator(capture_memory_trace=False, obs=False)
+    report_f = functional.run_functional(image,
+                                         max_instructions=MAX_INSTRUCTIONS)
+
+    problems = []
+    state_a = ArchState.capture(accurate)
+    state_f = ArchState.capture(functional)
+    if state_a != state_f:
+        problems.extend(_describe_state_diff(state_a, state_f))
+    if report_a.uart_output != report_f.uart_output:
+        problems.append(
+            f"uart: accurate={report_a.uart_output.hex()} "
+            f"functional={report_f.uart_output.hex()}")
+    if report_a.result_word != report_f.result_word:
+        problems.append(
+            f"result_word: accurate={report_a.result_word} "
+            f"functional={report_f.result_word}")
+    return problems
+
+
+def _describe_state_diff(a: ArchState, b: ArchState) -> list[str]:
+    diffs = []
+    for name in ("pc", "npc", "annul", "halted", "error_tt", "psr", "wim",
+                 "tbr", "y", "cwp", "retired", "traps_taken"):
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            diffs.append(f"{name}: accurate={va} functional={vb}")
+    if a.globals_ != b.globals_:
+        for i, (va, vb) in enumerate(zip(a.globals_, b.globals_)):
+            if va != vb:
+                diffs.append(f"%g{i}: accurate={va:#x} functional={vb:#x}")
+    if a.window_regs != b.window_regs:
+        for i, (va, vb) in enumerate(zip(a.window_regs, b.window_regs)):
+            if va != vb:
+                diffs.append(
+                    f"window slot {i}: accurate={va:#x} functional={vb:#x}")
+    if a.asr != b.asr:
+        diffs.append(f"asr: accurate={a.asr} functional={b.asr}")
+    for name in set(a.memory) | set(b.memory):
+        blob_a, blob_b = a.memory.get(name), b.memory.get(name)
+        if blob_a != blob_b:
+            where = next(i for i, (x, y)
+                         in enumerate(zip(blob_a, blob_b)) if x != y)
+            diffs.append(f"memory '{name}' first differs at +{where:#x}")
+    for name in set(a.peripherals) | set(b.peripherals):
+        if a.peripherals.get(name) != b.peripherals.get(name):
+            diffs.append(
+                f"peripheral '{name}': accurate={a.peripherals.get(name)} "
+                f"functional={b.peripherals.get(name)}")
+    return diffs or ["ArchState differs (unattributed field)"]

@@ -1,0 +1,109 @@
+"""Trap parity: every TrapException site behaves identically on both
+engines, including the TBR dispatch into the boot ROM's trap table.
+
+Unhandled traps park the machine at the ROM's ``error_state`` loop with
+ET = 0 and the trap type still latched in TBR — so driving both engines
+to ``rom_info.error_address`` and comparing the full
+:class:`~repro.cpu.archstate.ArchState` (which includes TBR, PSR, and
+the trap window's ``%l1``/``%l2`` = trapped PC/nPC) proves the whole
+entry sequence matched.  Window overflow/underflow are *handled* by the
+ROM, so those run to normal completion instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sim import Simulator
+from repro.cpu.archstate import ArchState
+from tests.difftest.harness import build, compare_engines
+
+PROLOGUE = """
+    .text
+    .global _start
+_start:
+    set 0x40170000, %sp
+    set 0x40011000, %g6
+"""
+EPILOGUE = """
+    ta 0
+    nop
+"""
+
+
+def _run_to_error(asm_text: str, engine_kind: str):
+    """Boot, dispatch, run until the machine parks at error_state."""
+    image = build(asm_text)
+    sim = Simulator(capture_memory_trace=False, obs=False)
+    engine = sim._boot_and_dispatch(image, engine_kind)
+    engine.run(max_instructions=500_000,
+               until_pc=sim.rom_info.error_address)
+    if engine is not sim.cpu:
+        sim._sync_from_functional(engine)
+    return ArchState.capture(sim)
+
+
+#: (name, trapping body, expected 8-bit trap type).
+ERROR_CASES = [
+    ("ld_unaligned", "    ld [%g6 + 2], %g1", 0x07),
+    ("st_unaligned", "    st %g1, [%g6 + 1]", 0x07),
+    ("lduh_unaligned", "    lduh [%g6 + 1], %g1", 0x07),
+    ("ldd_unaligned", "    ldd [%g6 + 4], %g2", 0x07),
+    ("illegal_unimp", "    unimp 0", 0x02),
+    ("illegal_ldd_odd_rd", "    .word 0xc21b8000", 0x02),  # ldd rd=%g1
+    ("illegal_wrpsr_bad_cwp", "    wr %g0, 31, %psr", 0x02),
+    ("division_by_zero", "    udiv %g1, %g0, %g2", 0x2A),
+    ("software_trap_5", "    ta 5", 0x85),
+]
+
+
+@pytest.mark.parametrize("body,expected_tt",
+                         [case[1:] for case in ERROR_CASES],
+                         ids=[case[0] for case in ERROR_CASES])
+def test_unhandled_trap_parity(body, expected_tt):
+    asm = PROLOGUE + body + "\n" + EPILOGUE
+    accurate = _run_to_error(asm, "accurate")
+    functional = _run_to_error(asm, "fast")
+    assert (accurate.tbr >> 4) & 0xFF == expected_tt
+    assert accurate == functional
+    # the error loop head is where both machines parked
+    assert accurate.pc == functional.pc
+    # trap entry disabled further traps and stayed there
+    assert not accurate.psr & (1 << 5)  # PSR.ET
+
+
+@pytest.mark.parametrize("depth", [2, 9, 12])
+def test_window_trap_parity(depth):
+    """Recursion past NWINDOWS drives the ROM's overflow handler on the
+    way down and the underflow handler on the way up — both engines must
+    take the same trap count and land in the same state."""
+    asm = PROLOGUE + f"""
+    set {depth}, %o0
+    call recurse
+    nop
+""" + EPILOGUE + """
+recurse:
+    save %sp, -96, %sp
+    subcc %i0, 1, %o0
+    bg deeper
+    nop
+    ba unwind
+    nop
+deeper:
+    call recurse
+    nop
+unwind:
+    ret
+    restore
+"""
+    problems = compare_engines(asm)
+    assert not problems, "\n".join(problems)
+
+    # prove the deep case actually trapped: run accurately and count
+    image = build(asm)
+    sim = Simulator(capture_memory_trace=False, obs=False)
+    sim.run(image)
+    state = ArchState.capture(sim)
+    if depth > sim.config.nwindows:
+        # at least one overflow and one underflow beyond the exit trap
+        assert state.traps_taken >= 3

@@ -296,3 +296,81 @@ class TestCycleCounter:
         assert counter.value() == 0
         assert counter.freeze() == 0
         assert counter.read_register(0x0) == 0
+
+
+class TestStateSnapshots:
+    """Every peripheral a checkpoint covers must round-trip through
+    state()/load_state() — including state that used to be private and
+    unreachable (a counter armed mid-count, a running timer)."""
+
+    def test_cycle_counter_armed_mid_count(self):
+        clock = Clock()
+        counter = CycleCounter(clock)
+        clock.advance(100)
+        counter.arm()
+        clock.advance(37)
+        snapshot = counter.state()
+
+        other_clock = Clock()
+        other_clock.advance(137)
+        restored = CycleCounter(other_clock)
+        restored.load_state(snapshot)
+        assert restored.running
+        assert restored.value() == counter.value() == 37
+        other_clock.advance(13)
+        assert restored.freeze() == 50
+
+    def test_cycle_counter_frozen_value_survives(self):
+        clock = Clock()
+        counter = CycleCounter(clock)
+        counter.arm()
+        clock.advance(42)
+        counter.freeze()
+        restored = CycleCounter(Clock())
+        restored.load_state(counter.state())
+        assert not restored.running
+        assert restored.read_register(0x0) == 42
+
+    def test_running_timer_round_trips(self):
+        clock = Clock()
+        timer = Timer(clock, prescaler=2)
+        timer.write_register(0x4, 100)  # reload value
+        timer.write_register(0x8, CTRL_ENABLE | CTRL_LOAD)
+        clock.advance(40)  # 20 timer ticks
+
+        other_clock = Clock()
+        other_clock.advance(clock.cycles)
+        restored = Timer(other_clock, prescaler=2)
+        restored.load_state(timer.state())
+        assert restored.value() == timer.value() == 80
+        other_clock.advance(20)
+        clock.advance(20)
+        assert restored.value() == timer.value()
+
+    def test_timer_snapshot_rejects_prescaler_mismatch(self):
+        timer = Timer(Clock(), prescaler=2)
+        other = Timer(Clock(), prescaler=4)
+        with pytest.raises(ValueError):
+            other.load_state(timer.state())
+
+    def test_uart_round_trips_fifo_and_log(self):
+        uart = Uart()
+        uart.host_send(b"hi")
+        uart.write_register(0x0, ord("A"))
+        uart.read_register(0x0)  # pop 'h'
+        restored = Uart()
+        restored.load_state(uart.state())
+        assert restored.tx_log == [ord("A")]
+        assert list(restored.rx_fifo) == [ord("i")]
+        assert restored.read_register(0x4) & STATUS_DATA_READY
+
+    def test_led_history_round_trips(self):
+        clock = Clock()
+        leds = LedPort(clock)
+        leds.write_register(0, 0x5)
+        clock.advance(10)
+        leds.write_register(0, 0xA)
+        restored = LedPort(Clock())
+        restored.load_state(leds.state())
+        assert restored.value == 0xA
+        assert restored.history == [(0, 0x5), (10, 0xA)]
