@@ -1,0 +1,156 @@
+"""Experiment E10: multi-tenant fleet service under load.
+
+The paper's web-accessible lab scaled out: ≥1000 load-and-execute jobs
+from four tenants scheduled across twelve emulated FPX nodes sharing
+one reconfiguration cache, with one node behind a scripted
+wedged-then-lossy transport.  The bench verifies the fleet-level
+properties the scheduler promises — per-tenant fairness (no
+starvation), quarantine-and-recovery of the chaos device without losing
+a job, cross-tenant bitfile reuse, and byte-identical results across
+two runs with the same seed — and reports per-tenant latency
+percentiles plus per-device utilization.
+"""
+
+import json
+
+import pytest
+
+from repro.control.fleet import ChaosClientFactory, FleetScheduler
+from repro.core import Job
+from repro.core.config import BASELINE
+from repro.obs import MetricsRegistry
+from repro.toolchain.driver import compile_c_program
+
+from .conftest import print_table
+
+PROGRAM = "int main(void) { return 6 * 7; }"
+TENANTS = ("gold", "silver", "bronze", "iron")
+JOBS_PER_TENANT = 250
+DEVICES = 12
+CHAOS_DEVICE = "fpx11"
+DCACHE_SIZES = (1024, 4096, 8192, 16384)
+SEED = 31
+
+
+def build_fleet() -> FleetScheduler:
+    image = compile_c_program(PROGRAM)
+    configs = [BASELINE.with_dcache_size(size) for size in DCACHE_SIZES]
+    fleet = FleetScheduler(
+        devices=[f"fpx{i:02d}" for i in range(DEVICES)],
+        client_factories={CHAOS_DEVICE: ChaosClientFactory(
+            ["device-down", "device-down", "burst-loss"], seed=SEED)},
+        quarantine_after=2, quarantine_ticks=24, probe_every=50)
+    for tenant_index, tenant in enumerate(TENANTS):
+        for index in range(JOBS_PER_TENANT):
+            fleet.submit(
+                tenant,
+                Job(image=image,
+                    config=configs[(tenant_index + index) % len(configs)],
+                    name=f"{tenant}-{index}"),
+                priority=1 if index % 50 == 0 else 0)
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def fleet_run():
+    """One full drain plus an identically seeded rerun (the
+    determinism oracle)."""
+    fleet = build_fleet()
+    fleet.drain()
+    rerun = build_fleet()
+    rerun.drain()
+    return fleet, rerun
+
+
+def test_fleet_load_benchmark(benchmark, fleet_run):
+    fleet, _ = fleet_run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ledger = fleet.ledger()
+    jobs = ledger["jobs"]
+    assert jobs["submitted"] == len(TENANTS) * JOBS_PER_TENANT >= 1000
+    assert jobs["completed"] == jobs["submitted"]
+    assert jobs["failed"] == 0
+
+    benchmark.extra_info["jobs"] = jobs["submitted"]
+    benchmark.extra_info["makespan_model_seconds"] = \
+        ledger["makespan_seconds"]
+    benchmark.extra_info["cache_misses"] = ledger["cache"]["misses"]
+    benchmark.extra_info["cache_hits"] = ledger["cache"]["hits"]
+    benchmark.extra_info["requeued"] = jobs["requeued"]
+
+    print_table(
+        "E10 fleet: per-tenant latency (model seconds)",
+        ["tenant", "completed", "p50", "p99", "max queue depth"],
+        [[tenant,
+          stats["completed"],
+          stats["p50_latency_seconds"],
+          stats["p99_latency_seconds"],
+          stats["max_queue_depth"]]
+         for tenant, stats in ledger["tenants"].items()])
+    print_table(
+        "E10 fleet: devices",
+        ["device", "jobs", "utilization", "reconfigs", "failures",
+         "quarantines"],
+        [[device, stats["jobs"], stats["utilization"],
+          stats["reconfigurations"], stats["failures"],
+          stats["quarantines"]]
+         for device, stats in ledger["devices"].items()])
+
+
+def test_no_tenant_is_starved(fleet_run):
+    """Fairness: every tenant's work interleaves through the whole run —
+    mean completion index per tenant stays within 1.5× of any other's."""
+    fleet, _ = fleet_run
+    means = {}
+    for tenant in TENANTS:
+        indexes = [r.completion_index for r in fleet.completed
+                   if r.tenant == tenant]
+        assert len(indexes) == JOBS_PER_TENANT
+        means[tenant] = sum(indexes) / len(indexes)
+    assert max(means.values()) / min(means.values()) < 1.5, means
+
+
+def test_chaos_device_quarantined_and_recovered(fleet_run):
+    fleet, _ = fleet_run
+    chaos = fleet.ledger()["devices"][CHAOS_DEVICE]
+    assert chaos["quarantines"] >= 1
+    assert chaos["recoveries"] >= 1
+    assert chaos["jobs"] >= 1          # it rejoined and did real work
+    assert fleet.jobs_requeued >= 1
+    assert fleet.jobs_failed == 0      # ...without losing anything
+
+
+def test_shared_cache_amortizes_synthesis(fleet_run):
+    fleet, _ = fleet_run
+    cache = fleet.ledger()["cache"]
+    assert cache["entries"] == len(DCACHE_SIZES)
+    assert cache["misses"] == len(DCACHE_SIZES)
+    assert cache["hits"] > cache["misses"]
+    assert cache["seconds_saved"] > cache["synthesis_seconds"]
+
+
+def test_fixed_seed_runs_are_byte_identical(fleet_run):
+    fleet, rerun = fleet_run
+    first = fleet.canonical_results()
+    assert first == rerun.canonical_results()
+    rows = json.loads(first)
+    assert len(rows) == len(TENANTS) * JOBS_PER_TENANT
+    assert all(row["ok"] for row in rows)
+
+
+def test_fleet_obs_series_published(fleet_run):
+    fleet, _ = fleet_run
+    registry = MetricsRegistry()
+    fleet.publish_obs(registry)
+    snap = registry.snapshot()
+    assert snap["counters"]["fleet.jobs_submitted"] \
+        == len(TENANTS) * JOBS_PER_TENANT
+    for tenant in TENANTS:
+        hist = snap["histograms"][
+            f"fleet.job_latency_seconds{{tenant={tenant}}}"]
+        assert hist["count"] == JOBS_PER_TENANT
+    utilizations = [
+        snap["gauges"][f"fleet.device_utilization{{device=fpx{i:02d}}}"]
+        for i in range(DEVICES)]
+    assert all(0.0 <= value <= 1.0 for value in utilizations)
+    assert max(utilizations) > 0.5

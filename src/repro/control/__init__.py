@@ -16,6 +16,27 @@ from repro.control.transport import (
 )
 from repro.control.webapp import ControlServlet
 
+#: Fleet names resolved lazily (PEP 562): repro.control.fleet imports
+#: repro.core.recon_server, which imports repro.control.client — an
+#: eager import here would close that cycle mid-initialization.
+_FLEET_EXPORTS = (
+    "ChaosClientFactory",
+    "DeviceSupervisor",
+    "FleetJob",
+    "FleetResult",
+    "FleetScheduler",
+    "fleet_client_factory",
+)
+
+
+def __getattr__(name: str):
+    if name in _FLEET_EXPORTS:
+        from repro.control import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ControlTimeout",
     "DeviceError",
@@ -28,4 +49,5 @@ __all__ = [
     "DirectTransport",
     "LossyTransport",
     "ControlServlet",
+    *_FLEET_EXPORTS,
 ]

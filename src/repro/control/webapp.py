@@ -8,6 +8,13 @@ command through a :class:`~repro.control.client.LiquidClient`, and
 returns the text page the browser would have shown.  There is no HTTP
 machinery on purpose — the servlet's *behaviour* is what the paper
 describes, and that is what tests exercise.
+
+The servlet grew fleet-aware dispatch alongside the original
+single-device commands: constructed with a
+:class:`~repro.control.fleet.FleetScheduler`, the ``submit`` / ``fleet``
+/ ``drain`` / ``results`` actions queue load-and-execute jobs for named
+tenants, run the fleet, and render per-tenant results — the
+multi-tenant form of the paper's web form → servlet → UDP → FPX path.
 """
 
 from __future__ import annotations
@@ -18,10 +25,15 @@ from repro.control.client import ControlTimeout, DeviceError, LiquidClient
 
 
 class ControlServlet:
-    ACTIONS = ("status", "load", "start", "read", "restart", "console")
+    #: Single-device actions, served through ``client``.
+    DEVICE_ACTIONS = ("status", "load", "start", "read", "restart", "console")
+    #: Multi-tenant actions, served through ``fleet``.
+    FLEET_ACTIONS = ("submit", "fleet", "drain", "results")
+    ACTIONS = DEVICE_ACTIONS + FLEET_ACTIONS
 
-    def __init__(self, client: LiquidClient):
+    def __init__(self, client: LiquidClient | None = None, fleet=None):
         self.client = client
+        self.fleet = fleet
         self.requests_served = 0
 
     def handle_request(self, form: dict) -> str:
@@ -30,6 +42,10 @@ class ControlServlet:
         action = form.get("action", "")
         if action not in self.ACTIONS:
             return f"400 unknown action '{action}'"
+        if action in self.DEVICE_ACTIONS and self.client is None:
+            return f"503 no device attached for action '{action}'"
+        if action in self.FLEET_ACTIONS and self.fleet is None:
+            return f"503 no fleet attached for action '{action}'"
         try:
             return getattr(self, f"_do_{action}")(form)
         except DeviceError as exc:
@@ -39,7 +55,7 @@ class ControlServlet:
         except (KeyError, ValueError) as exc:
             return f"400 bad request: {exc}"
 
-    # -- actions ------------------------------------------------------------
+    # -- single-device actions ----------------------------------------------
 
     def _do_status(self, form: dict) -> str:
         status = self.client.status()
@@ -73,3 +89,64 @@ class ControlServlet:
     def _do_console(self, form: dict) -> str:
         lines = self.client.listener.console_lines()
         return "200 console:\n" + "\n".join(lines[-50:])
+
+    # -- fleet actions -------------------------------------------------------
+
+    def _do_submit(self, form: dict) -> str:
+        """Queue one load-and-execute job: tenant + flat binary (hex at
+        an address) + optional entry/priority/dcache_size."""
+        from repro.core.config import BASELINE
+        from repro.core.recon_server import Job
+        from repro.toolchain.objfile import Image
+
+        tenant = form.get("tenant") or "anonymous"
+        base = int(form["address"], 0)
+        blob = binascii.unhexlify(form["hex"])
+        entry = int(form.get("entry", form["address"]), 0)
+        priority = int(form.get("priority", "0"))
+        config = BASELINE
+        if "dcache_size" in form:
+            config = config.with_dcache_size(int(form["dcache_size"], 0))
+        name = form.get("name", f"web-{self.fleet.jobs_submitted}")
+        job = Job(image=Image(segments={base: blob}, symbols={},
+                              entry=entry),
+                  config=config, name=name)
+        fleet_job = self.fleet.submit(tenant, job, priority=priority)
+        return (f"202 queued job '{name}' for tenant '{tenant}' "
+                f"(sequence {fleet_job.sequence}, priority {priority})")
+
+    def _do_fleet(self, form: dict) -> str:
+        depths = self.fleet.queue_depths()
+        lines = [f"queued jobs: {sum(depths.values())}"]
+        for tenant in sorted(depths):
+            lines.append(f"  tenant {tenant}: {depths[tenant]} queued, "
+                         f"{len(self.fleet.latencies.get(tenant, []))} done")
+        for device in self.fleet.devices:
+            state = "QUARANTINED" if device.quarantined else "HEALTHY"
+            lines.append(
+                f"  device {device.device_id}: {state}, "
+                f"{device.jobs_completed} jobs, "
+                f"{device.failures} failures, "
+                f"clock {device.clock:.3f}s")
+        return "200 fleet:\n" + "\n".join(lines)
+
+    def _do_drain(self, form: dict) -> str:
+        results = self.fleet.drain()
+        ok = sum(1 for r in results if r.result.ok)
+        return (f"200 drained: {ok} completed, "
+                f"{len(results) - ok} failed, "
+                f"makespan {self.fleet.makespan_seconds:.3f}s")
+
+    def _do_results(self, form: dict) -> str:
+        tenant = form.get("tenant")
+        rows = [r for r in self.fleet.completed
+                if tenant is None or r.tenant == tenant]
+        lines = [
+            f"  {r.tenant}/{r.result.name}: "
+            + (f"result 0x{r.result.result_word:08x}, "
+               f"{r.result.cycles} cycles"
+               if r.result.ok else f"FAILED ({r.result.error})")
+            + f" on {r.device} after {r.attempts} attempt(s)"
+            for r in rows
+        ]
+        return f"200 results ({len(rows)}):\n" + "\n".join(lines)

@@ -9,9 +9,18 @@ from repro.core.config import (
 )
 from repro.core.generator import ArchitectureGenerator, ExplorationResult
 from repro.core.liquid import LiquidProcessorSystem, ProgramRun
-from repro.core.recon_cache import ReconfigurationCache
+from repro.core.recon_cache import (
+    CacheOutcome,
+    ReconCacheThrashWarning,
+    ReconfigurationCache,
+)
 from repro.core.sim import SimReport, Simulator, simulate
-from repro.core.recon_server import Job, JobResult, ReconfigurationServer
+from repro.core.recon_server import (
+    ConfigureOutcome,
+    Job,
+    JobResult,
+    ReconfigurationServer,
+)
 from repro.core.rewriter import (
     BUILTIN_RECIPES,
     MAC_RECIPE,
@@ -52,10 +61,13 @@ __all__ = [
     "ExplorationResult",
     "LiquidProcessorSystem",
     "ProgramRun",
+    "CacheOutcome",
+    "ReconCacheThrashWarning",
     "ReconfigurationCache",
     "SimReport",
     "Simulator",
     "simulate",
+    "ConfigureOutcome",
     "Job",
     "JobResult",
     "ReconfigurationServer",

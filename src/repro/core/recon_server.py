@@ -1,26 +1,36 @@
-"""Reconfiguration Server: sequencing access to the FPX platform.
+"""Reconfiguration Server: the per-device runtime of the liquid lab.
 
 "The Reconfiguration Server controls access to the FPX Platform,
 sequencing the loading and execution of applications."  The server owns
-the (single) FPX node, a reconfiguration cache, and a model-time ledger:
+one FPX node, a reconfiguration cache (possibly shared fleet-wide, see
+:mod:`repro.control.fleet`), and a model-time ledger:
 
 * :meth:`configure` — ensure the RAD runs the requested architecture:
   reconfiguration-cache lookup (miss → synthesis time), then SelectMap
   programming time, then re-instantiating the platform model (our
   software analogue of loading a new bitfile);
 * :meth:`submit` / :meth:`run_job` — queued load-and-execute jobs, each
-  returning the measured cycle count.
+  returning the measured cycle count;
+* :meth:`invalidate` — forget the loaded bitfile/platform/client so the
+  next configure rebuilds the node from scratch (the supervisor's hard
+  restart after a wedged run).
 
 Model time is wall-clock *in the model* (synthesis hours, programming
 milliseconds, program cycles at the bitfile's clock rate) — the currency
 in which the reconfiguration cache pays off.
+
+Accounting is explicit about three distinct cheap paths: a *no-op*
+configure (the right bitfile is already loaded; the cache is never
+consulted), a *cache hit* (new bitfile, no synthesis), and a genuine
+miss.  ``JobResult.cache_hit`` and ``JobResult.already_loaded`` report
+them separately, and the ledger counts no-ops in ``configs_noop``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.control.client import ControlTimeout, DeviceError, LiquidClient
 from repro.control.transport import DirectTransport
@@ -44,6 +54,19 @@ class Job:
     max_instructions: int = 50_000_000
 
 
+class ConfigureOutcome(NamedTuple):
+    """What :meth:`ReconfigurationServer.configure` returns.
+
+    Exactly one of ``cache_hit`` / ``already_loaded`` can be True:
+    a no-op configure never consults the cache, so it is not a hit.
+    """
+
+    synthesis_seconds: float
+    program_seconds: float
+    cache_hit: bool
+    already_loaded: bool = False
+
+
 @dataclass
 class JobResult:
     name: str
@@ -54,7 +77,12 @@ class JobResult:
     seconds_synthesis: float
     seconds_programming: float
     seconds_execution: float
+    #: True only when the bitfile came out of the reconfiguration cache
+    #: (synthesis skipped, SelectMap programming still paid).
     cache_hit: bool
+    #: True when the right bitfile was already on the RAD: no cache
+    #: lookup, no programming — distinct from a cache hit.
+    already_loaded: bool = False
     #: False when the job was recorded as failed (control-plane timeout
     #: or device error that survived the restart-and-retry).
     ok: bool = True
@@ -73,17 +101,21 @@ class ReconfigurationServer:
     def __init__(self, cache: ReconfigurationCache | None = None,
                  client_factory: Callable[[FPXPlatform],
                                           LiquidClient] | None = None):
-        self.cache = cache or ReconfigurationCache()
+        # `cache or ...` would silently discard a shared cache: an
+        # empty ReconfigurationCache is falsy through __len__, and a
+        # fleet hands every runtime exactly such a cache at start-up.
+        self.cache = cache if cache is not None else ReconfigurationCache()
         self.platform: FPXPlatform | None = None
         self.client: LiquidClient | None = None
         # Builds the control client for a freshly configured platform.
         # The default drives the node over a lossless DirectTransport;
         # override to interpose a lossy/chaos transport or custom retry
-        # policies (tests inject failures this way).
+        # policies (tests and the fleet inject failures this way).
         self.client_factory = client_factory or self._default_client
         self.current_bitfile: Bitfile | None = None
         self.model_seconds = 0.0
         self.reconfigurations = 0
+        self.noop_configs = 0
         self.jobs_failed = 0
         self.jobs_retried = 0
         self._queue: deque[Job] = deque()
@@ -99,15 +131,17 @@ class ReconfigurationServer:
     # Configuration
     # ------------------------------------------------------------------
 
-    def configure(self, config: ArchitectureConfig) -> tuple[float, float, bool]:
-        """Make the RAD run *config*; returns (synthesis_s, program_s,
-        cache_hit).  A no-op if the right bitfile is already loaded."""
+    def configure(self, config: ArchitectureConfig) -> ConfigureOutcome:
+        """Make the RAD run *config*.  A no-op if the right bitfile is
+        already loaded (reported as ``already_loaded``, not as a cache
+        hit — the cache is never consulted on that path)."""
         if (self.current_bitfile is not None
                 and self.current_bitfile.config == config
                 and self.platform is not None):
-            return 0.0, 0.0, True
-        bitfile, synthesis_seconds = self.cache.get(config)
-        cache_hit = synthesis_seconds == 0.0
+            self.noop_configs += 1
+            return ConfigureOutcome(0.0, 0.0, cache_hit=False,
+                                    already_loaded=True)
+        bitfile, synthesis_seconds, cache_hit = self.cache.get(config)
         # Instantiate the new architecture (= full RAD reconfiguration).
         platform = FPXPlatform(config.platform_config())
         program_seconds = platform.rad.program(platform, bitfile.name,
@@ -118,7 +152,22 @@ class ReconfigurationServer:
         self.current_bitfile = bitfile
         self.reconfigurations += 1
         self.model_seconds += synthesis_seconds + program_seconds
-        return synthesis_seconds, program_seconds, cache_hit
+        return ConfigureOutcome(synthesis_seconds, program_seconds,
+                                cache_hit=cache_hit)
+
+    def invalidate(self) -> None:
+        """Forget the loaded bitfile, platform and client.
+
+        The next :meth:`configure` rebuilds the node from scratch — the
+        hard-restart a supervisor applies after a failure, and the only
+        safe response to a wedged platform: restarting through the
+        existing client would trust the very control path that just
+        timed out, and keeping ``current_bitfile`` would let the no-op
+        check happily reuse the wedged platform.
+        """
+        self.current_bitfile = None
+        self.platform = None
+        self.client = None
 
     # ------------------------------------------------------------------
     # Job execution
@@ -130,7 +179,7 @@ class ReconfigurationServer:
     def run_queue(self) -> list[JobResult]:
         """Run all queued jobs, degrading gracefully: a job that fails
         with a control-plane timeout or device error is retried once
-        after a device restart; a second failure is recorded as a failed
+        after a device rebuild; a second failure is recorded as a failed
         :class:`JobResult` instead of aborting the rest of the queue."""
         results = []
         while self._queue:
@@ -143,13 +192,13 @@ class ReconfigurationServer:
         return results
 
     def _retry_job(self, job: Job, first_error: Exception) -> JobResult:
-        """Second (and last) chance for a failed job: restart the device
-        to shed wedged state, rerun, and on repeat failure record the
+        """Second (and last) chance for a failed job: invalidate the
+        wedged platform so the retry reconfigures from scratch (fresh
+        platform, fresh client), rerun, and on repeat failure record the
         job as failed."""
         self.jobs_retried += 1
+        self.invalidate()
         try:
-            if self.client is not None:
-                self.client.restart()
             result = self.run_job(job)
         except (ControlTimeout, DeviceError) as exc:
             self.jobs_failed += 1
@@ -175,7 +224,7 @@ class ReconfigurationServer:
         return result
 
     def run_job(self, job: Job) -> JobResult:
-        synthesis_s, program_s, cache_hit = self.configure(job.config)
+        outcome = self.configure(job.config)
         platform, client = self.platform, self.client
         run = client.run_image(job.image, result_addr=job.result_addr,
                                max_instructions=job.max_instructions)
@@ -188,10 +237,11 @@ class ReconfigurationServer:
             state=platform.leon_ctrl.state,
             cycles=run.cycles,
             result_word=run.result_word,
-            seconds_synthesis=synthesis_s,
-            seconds_programming=program_s,
+            seconds_synthesis=outcome.synthesis_seconds,
+            seconds_programming=outcome.program_seconds,
             seconds_execution=execution_s,
-            cache_hit=cache_hit,
+            cache_hit=outcome.cache_hit,
+            already_loaded=outcome.already_loaded,
         )
         self.results.append(result)
         return result
@@ -201,17 +251,20 @@ class ReconfigurationServer:
     # ------------------------------------------------------------------
 
     def ledger(self) -> dict:
+        cache_stats = self.cache.stats
         return {
             "model_seconds": round(self.model_seconds, 3),
             "reconfigurations": self.reconfigurations,
+            "configs_noop": self.noop_configs,
             "jobs_retried": self.jobs_retried,
             "jobs_failed": self.jobs_failed,
             "cache": {
                 "entries": len(self.cache),
-                "hits": self.cache.stats.hits,
-                "misses": self.cache.stats.misses,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "coalesced": cache_stats.coalesced,
                 "synthesis_seconds": round(
-                    self.cache.stats.synthesis_seconds, 1),
-                "seconds_saved": round(self.cache.stats.seconds_saved, 1),
+                    cache_stats.synthesis_seconds, 1),
+                "seconds_saved": round(cache_stats.seconds_saved, 1),
             },
         }

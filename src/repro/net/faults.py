@@ -32,6 +32,7 @@ __all__ = [
     "ScriptedChannel",
     "blackout",
     "burst_loss",
+    "device_down",
     "duplicate_storm",
     "reorder_heavy",
     "scenario",
@@ -196,6 +197,19 @@ def reorder_heavy(reorder: float = 0.75, max_delay_slots: int = 4,
     ))
 
 
+def device_down() -> FaultPlan:
+    """A permanently black link: every round is a blackout, forever.
+
+    This is the hard-failure shape a fleet supervisor must survive — a
+    node that will never answer, however patient the retry budget — as
+    opposed to :func:`blackout`'s transient outage with a recovery
+    tail.  Pair it with healthier plans in a per-boot schedule (see
+    :class:`repro.control.fleet.ChaosClientFactory`) to script a node
+    that wedges and then comes back after a rebuild.
+    """
+    return FaultPlan("device-down", (FaultPhase(1, blackout=True),))
+
+
 #: Named scenarios shared by the chaos test-suite, benchmarks and CI.
 SCENARIOS: dict[str, "FaultPlan"] = {}
 
@@ -209,6 +223,7 @@ def scenario(name: str) -> FaultPlan:
                        f"{sorted(SCENARIOS)}") from None
 
 
-for _plan in (burst_loss(), blackout(), duplicate_storm(), reorder_heavy()):
+for _plan in (burst_loss(), blackout(), duplicate_storm(), reorder_heavy(),
+              device_down()):
     SCENARIOS[_plan.name] = _plan
 del _plan

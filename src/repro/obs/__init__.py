@@ -19,6 +19,7 @@ from repro.obs.collect import (
     collect_ahb,
     collect_apb,
     collect_cache,
+    collect_fleet,
     collect_pipeline,
     collect_transport,
     point_snapshot,
@@ -47,6 +48,7 @@ __all__ = [
     "collect_ahb",
     "collect_apb",
     "collect_cache",
+    "collect_fleet",
     "collect_pipeline",
     "collect_transport",
     "diff_reports",

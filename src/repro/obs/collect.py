@@ -33,10 +33,12 @@ __all__ = [
     "PIPELINE_STAGES",
     "collect_ahb",
     "collect_apb",
+    "FLEET_LATENCY_BOUNDS",
     "collect_cache",
     "collect_channel",
     "collect_client",
     "collect_fastpath",
+    "collect_fleet",
     "collect_pipeline",
     "collect_sdram",
     "collect_sram",
@@ -168,6 +170,64 @@ def collect_channel(stats: dict, registry: MetricsRegistry,
     for name, value in stats.items():
         registry.counter(f"channel.{name}",
                          direction=direction).inc(value)
+
+
+#: Job-latency buckets in model seconds: sub-millisecond warm no-op
+#: switches up through multi-hour synthesis queues.
+FLEET_LATENCY_BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0,
+                        900.0, 3600.0, 7200.0, 14400.0)
+
+
+def collect_fleet(fleet, registry: MetricsRegistry) -> None:
+    """Publish a :class:`~repro.control.fleet.FleetScheduler`'s native
+    accounting as ``fleet.*`` series: queue depths and per-tenant job
+    counts/latency (histogram plus p50/p99 gauges), per-device
+    utilization and supervision counters, and fleet totals.  Publishes
+    totals — fold into a fresh registry, not a reused one."""
+    from repro.control.fleet import quantile
+
+    registry.counter("fleet.jobs_submitted").inc(fleet.jobs_submitted)
+    registry.counter("fleet.jobs_failed").inc(fleet.jobs_failed)
+    registry.counter("fleet.jobs_requeued").inc(fleet.jobs_requeued)
+    registry.gauge("fleet.makespan_seconds").set(
+        round(fleet.makespan_seconds, 6))
+    depths = fleet.queue_depths()
+    for tenant in sorted(fleet.latencies):
+        latencies = fleet.latencies[tenant]
+        registry.counter("fleet.jobs_completed",
+                         tenant=tenant).inc(len(latencies))
+        registry.gauge("fleet.queue_depth",
+                       tenant=tenant).set(depths.get(tenant, 0))
+        registry.gauge("fleet.max_queue_depth", tenant=tenant).set(
+            fleet.max_queue_depth.get(tenant, 0))
+        histogram = registry.histogram("fleet.job_latency_seconds",
+                                       bounds=FLEET_LATENCY_BOUNDS,
+                                       tenant=tenant)
+        for latency in latencies:
+            histogram.observe(round(latency, 9))
+        for q, name in ((0.50, "p50"), (0.99, "p99")):
+            registry.gauge(f"fleet.job_latency_{name}_seconds",
+                           tenant=tenant).set(round(quantile(latencies, q),
+                                                    6))
+    makespan = fleet.makespan_seconds
+    for device in fleet.devices:
+        label = device.device_id
+        registry.gauge("fleet.device_utilization", device=label).set(
+            round(device.utilization(makespan), 6))
+        registry.counter("fleet.device_jobs",
+                         device=label).inc(device.jobs_completed)
+        registry.counter("fleet.device_failures",
+                         device=label).inc(device.failures)
+        registry.counter("fleet.device_quarantines",
+                         device=label).inc(device.quarantines)
+        registry.counter("fleet.device_recoveries",
+                         device=label).inc(device.recoveries)
+        registry.counter("fleet.device_reconfigurations",
+                         device=label).inc(device.runtime.reconfigurations)
+    stats = fleet.cache.stats
+    registry.counter("fleet.cache_hits").inc(stats.hits)
+    registry.counter("fleet.cache_misses").inc(stats.misses)
+    registry.counter("fleet.cache_coalesced").inc(stats.coalesced)
 
 
 def zero_transport_series(registry: MetricsRegistry) -> None:

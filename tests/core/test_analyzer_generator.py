@@ -92,18 +92,24 @@ class TestTraceAnalyzer:
 class TestReconfigurationServer:
     def test_configure_charges_synthesis_then_switches_free(self):
         server = ReconfigurationServer()
-        synth1, prog1, hit1 = server.configure(ArchitectureConfig())
-        assert synth1 > 0 and not hit1
-        # Same config again: no-op.
-        synth2, prog2, hit2 = server.configure(ArchitectureConfig())
-        assert synth2 == prog2 == 0.0 and hit2
+        outcome1 = server.configure(ArchitectureConfig())
+        assert outcome1.synthesis_seconds > 0 and not outcome1.cache_hit
+        assert not outcome1.already_loaded
+        # Same config again: a no-op, which is NOT a cache hit (the
+        # cache is never consulted on that path).
+        outcome2 = server.configure(ArchitectureConfig())
+        assert outcome2.synthesis_seconds == outcome2.program_seconds == 0.0
+        assert outcome2.already_loaded and not outcome2.cache_hit
         # New config: synthesis again.
-        synth3, _, hit3 = server.configure(
+        outcome3 = server.configure(
             ArchitectureConfig().with_dcache_size(8192))
-        assert synth3 > 0 and not hit3
+        assert outcome3.synthesis_seconds > 0 and not outcome3.cache_hit
         # Back to the first: cached bitfile, only programming time.
-        synth4, prog4, hit4 = server.configure(ArchitectureConfig())
-        assert synth4 == 0.0 and prog4 > 0 and hit4
+        outcome4 = server.configure(ArchitectureConfig())
+        assert outcome4.synthesis_seconds == 0.0
+        assert outcome4.program_seconds > 0
+        assert outcome4.cache_hit and not outcome4.already_loaded
+        assert server.noop_configs == 1
 
     def test_run_job_returns_cycles_and_result(self):
         server = ReconfigurationServer()
@@ -222,6 +228,68 @@ class TestRunQueueDegradation:
         ledger = server.ledger()
         assert ledger["jobs_retried"] == 0
         assert ledger["jobs_failed"] == 0
+
+    def test_retry_rebuilds_the_platform_from_scratch(self):
+        """Regression: the retry used to go through the *old* client's
+        restart() — trusting the very control path that just failed and
+        keeping the possibly-wedged platform.  It must invalidate and
+        reconfigure instead."""
+        server = ReconfigurationServer(
+            client_factory=flaky_client_factory({0}))
+        image = compile_c_program("int main(void) { return 9; }")
+        first = server.configure(ArchitectureConfig())
+        assert not first.cache_hit
+        wedged_platform = server.platform
+        wedged_client = server.client
+        server.submit(Job(image=image, config=ArchitectureConfig(),
+                          name="wedged"))
+        [result] = server.run_queue()
+        assert result.ok and result.attempts == 2
+        # A full rebuild: new platform, new client, second
+        # reconfiguration charged (as a cache hit, not a resynthesis).
+        assert server.platform is not wedged_platform
+        assert server.client is not wedged_client
+        assert server.reconfigurations == 2
+        assert result.cache_hit
+        assert result.seconds_synthesis == 0.0
+
+    def test_invalidate_forgets_the_node(self):
+        server = ReconfigurationServer()
+        server.configure(ArchitectureConfig())
+        server.invalidate()
+        assert server.platform is None
+        assert server.client is None
+        assert server.current_bitfile is None
+        # The next configure is a real reconfiguration (cache hit), not
+        # a no-op on the forgotten bitfile.
+        outcome = server.configure(ArchitectureConfig())
+        assert outcome.cache_hit and not outcome.already_loaded
+
+    def test_results_report_noop_vs_hit_distinctly(self):
+        """Regression: a back-to-back job on the loaded architecture
+        used to be misreported as ``cache_hit=True`` even though the
+        cache was never consulted."""
+        server = ReconfigurationServer()
+        image = compile_c_program("int main(void) { return 2; }")
+        for name in ("first", "warm"):
+            server.submit(Job(image=image, config=ArchitectureConfig(),
+                              name=name))
+        server.submit(Job(image=image,
+                          config=ArchitectureConfig().with_dcache_size(8192),
+                          name="other"))
+        server.submit(Job(image=image, config=ArchitectureConfig(),
+                          name="back"))
+        first, warm, other, back = server.run_queue()
+        assert not first.cache_hit and not first.already_loaded
+        assert warm.already_loaded and not warm.cache_hit
+        assert warm.seconds_programming == 0.0
+        assert not other.cache_hit and not other.already_loaded
+        assert back.cache_hit and not back.already_loaded
+        assert back.seconds_programming > 0.0
+        ledger = server.ledger()
+        assert ledger["configs_noop"] == 1
+        assert ledger["cache"]["hits"] == 1
+        assert ledger["cache"]["misses"] == 2
 
 
 class TestArchitectureGenerator:

@@ -1,11 +1,14 @@
 """Synthesis model (Figure 10) and reconfiguration cache/server tests."""
 
+import warnings
+
 import pytest
 
 from repro.core import (
     ArchitectureConfig,
     ConfigurationSpace,
     ExtensionSpec,
+    ReconCacheThrashWarning,
     ReconfigurationCache,
     SynthesisError,
     SynthesisModel,
@@ -94,10 +97,12 @@ class TestFigure10Calibration:
 class TestReconfigurationCache:
     def test_miss_then_hit_economics(self):
         cache = ReconfigurationCache()
-        _, first = cache.get(BASELINE)
+        _, first, hit = cache.get(BASELINE)
         assert first > 1000.0                   # paid full synthesis
-        bitfile, second = cache.get(BASELINE)
+        assert not hit
+        bitfile, second, hit = cache.get(BASELINE)
         assert second == 0.0                    # free switch
+        assert hit
         assert cache.stats.hits == 1
         assert cache.stats.seconds_saved == pytest.approx(
             bitfile.synthesis_seconds)
@@ -117,8 +122,8 @@ class TestReconfigurationCache:
         assert total > 5 * 1000
         # Runtime switching across the space is now free.
         for config in space:
-            _, seconds = cache.get(config)
-            assert seconds == 0.0
+            _, seconds, hit = cache.get(config)
+            assert seconds == 0.0 and hit
 
     def test_capacity_lru_eviction(self):
         cache = ReconfigurationCache(capacity=2)
@@ -142,6 +147,138 @@ class TestReconfigurationCache:
         cache.get(BASELINE.with_dcache_size(2048))
         cache.get(BASELINE.with_dcache_size(1024))
         assert cache.contents() == sorted(cache.contents())
+
+
+class CountingSynthesizer:
+    """Wraps the real model, counting calls; ``cost`` overrides the
+    reported synthesis time (0.0 models a degenerate free synthesis)."""
+
+    def __init__(self, cost=None, delay_seconds=0.0):
+        import dataclasses
+        self._model = SynthesisModel()
+        self._dataclasses = dataclasses
+        self.cost = cost
+        self.delay_seconds = delay_seconds
+        self.calls = 0
+        self._lock = __import__("threading").Lock()
+
+    def synthesize(self, config):
+        with self._lock:
+            self.calls += 1
+        if self.delay_seconds:
+            __import__("time").sleep(self.delay_seconds)
+        bitfile = self._model.synthesize(config)
+        if self.cost is not None:
+            bitfile = self._dataclasses.replace(bitfile,
+                                                synthesis_seconds=self.cost)
+        return bitfile
+
+
+class TestExplicitHitFlag:
+    def test_zero_cost_synthesis_is_still_a_miss(self):
+        """Regression: a ``synthesis_seconds == 0.0`` sentinel would
+        misreport the first get of a free-to-synthesize configuration
+        as a hit; the explicit flag must not."""
+        cache = ReconfigurationCache(synthesizer=CountingSynthesizer(cost=0.0))
+        _, seconds, hit = cache.get(BASELINE)
+        assert seconds == 0.0 and not hit
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        _, seconds, hit = cache.get(BASELINE)
+        assert seconds == 0.0 and hit
+        assert cache.stats.hits == 1
+
+
+class TestPregenerateThrash:
+    def test_over_capacity_batch_warns_and_counts_thrash(self):
+        """Regression: pregenerating more distinct configurations than
+        the cache holds silently burned the synthesis time and kept
+        only the tail of the batch."""
+        cache = ReconfigurationCache(capacity=2)
+        space = [BASELINE.with_dcache_size(size)
+                 for size in (1024, 2048, 4096, 8192)]
+        with pytest.warns(ReconCacheThrashWarning,
+                          match="4 distinct configurations.*capacity 2"):
+            total = cache.pregenerate(space)
+        assert total > 4 * 1000
+        assert len(cache) == 2
+        stats = cache.stats
+        assert stats.evictions == 2
+        assert stats.thrash_evictions == 2
+
+    def test_fitting_batch_does_not_warn(self):
+        cache = ReconfigurationCache(capacity=8)
+        space = [BASELINE.with_dcache_size(size)
+                 for size in (1024, 2048)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReconCacheThrashWarning)
+            cache.pregenerate(space)
+        assert cache.stats.thrash_evictions == 0
+
+    def test_unrelated_eviction_is_not_thrash(self):
+        cache = ReconfigurationCache(capacity=1)
+        cache.get(BASELINE.with_dcache_size(1024))
+        cache.get(BASELINE.with_dcache_size(2048))
+        assert cache.stats.evictions == 1
+        assert cache.stats.thrash_evictions == 0
+
+
+class TestConcurrentAccess:
+    def test_same_config_synthesized_exactly_once(self):
+        """Eight threads race for one un-synthesized configuration: one
+        pays, the rest coalesce onto its in-flight synthesis."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        synthesizer = CountingSynthesizer(delay_seconds=0.02)
+        cache = ReconfigurationCache(synthesizer=synthesizer)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(lambda _: cache.get(BASELINE),
+                                     range(8)))
+        assert synthesizer.calls == 1
+        assert len({id(outcome.bitfile) for outcome in outcomes}) == 1
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 7
+        assert stats.hits + stats.misses == 8
+        # Every non-owner either coalesced on the in-flight event or
+        # arrived after the insert; hit accounting covers both.
+        assert 0 <= stats.coalesced <= 7
+        assert sum(1 for outcome in outcomes if not outcome.hit) == 1
+
+    def test_distinct_configs_synthesize_once_each(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        synthesizer = CountingSynthesizer(delay_seconds=0.005)
+        cache = ReconfigurationCache(synthesizer=synthesizer)
+        space = [BASELINE.with_dcache_size(size)
+                 for size in (1024, 2048, 4096, 8192)]
+        work = space * 4
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(cache.get, work))
+        assert synthesizer.calls == 4
+        assert len(cache) == 4
+        stats = cache.stats
+        assert stats.misses == 4
+        assert stats.hits == 12
+        assert all(outcome.bitfile.config in space for outcome in outcomes)
+
+    def test_failed_synthesis_releases_waiters(self):
+        """A synthesis that raises must wake coalesced waiters and let
+        one of them retry as the new owner, not deadlock the key."""
+        import dataclasses
+
+        class FlakySynthesizer(CountingSynthesizer):
+            def synthesize(self, config):
+                bitfile = super().synthesize(config)
+                if self.calls == 1:
+                    raise SynthesisError("injected place-and-route fail")
+                return bitfile
+
+        cache = ReconfigurationCache(synthesizer=FlakySynthesizer())
+        with pytest.raises(SynthesisError):
+            cache.get(BASELINE)
+        _, _, hit = cache.get(BASELINE)
+        assert not hit
+        assert cache.stats.misses == 1
 
 
 class TestCrossProcessDeterminism:

@@ -84,7 +84,7 @@ class TestFaultPlan:
 
     def test_registry_covers_the_documented_scenarios(self):
         assert {"burst-loss", "blackout", "duplicate-storm",
-                "reorder-heavy"} <= set(SCENARIOS)
+                "reorder-heavy", "device-down"} <= set(SCENARIOS)
 
 
 class TestScriptedChannel:
@@ -130,11 +130,17 @@ class TestScriptedChannel:
         assert back.plan.name == "burst-loss"
 
 
-class TestAllCommandsUnderChaos:
-    """Acceptance: all five commands complete under every scripted
-    scenario with fixed seeds, byte-identical across reruns."""
+#: Scenarios a retrying client can live through.  "device-down" is the
+#: deliberate exception: a permanently black link that only a fleet
+#: supervisor (rebuild + requeue) can survive.
+SURVIVABLE = sorted(set(SCENARIOS) - {"device-down"})
 
-    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+
+class TestAllCommandsUnderChaos:
+    """Acceptance: all five commands complete under every survivable
+    scripted scenario with fixed seeds, byte-identical across reruns."""
+
+    @pytest.mark.parametrize("name", SURVIVABLE)
     def test_full_command_set_completes(self, name):
         client, transport, emulator = make_client(scenario(name))
         summary = run_all_commands(client, emulator)
@@ -148,7 +154,19 @@ class TestAllCommandsUnderChaos:
         assert faults > 0, f"scenario {name} injected nothing"
         assert summary["transmissions"] >= 8  # 256 B / 32 B chunks
 
-    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_device_down_times_out_every_command(self):
+        # The hard-failure scenario: nothing ever gets through, so the
+        # client must give up within its budget (the failure signal a
+        # fleet supervisor converts into rebuild + requeue).
+        from repro.control.client import ControlTimeout
+
+        client, transport, emulator = make_client(scenario("device-down"))
+        with pytest.raises(ControlTimeout):
+            client.status()
+        assert client.timeouts == 1
+        assert transport.to_device.blackout_dropped > 0
+
+    @pytest.mark.parametrize("name", SURVIVABLE)
     def test_rerun_is_byte_identical(self, name):
         def run():
             client, transport, emulator = make_client(scenario(name),
