@@ -1,0 +1,98 @@
+"""Workload x configuration matrix: the paper's claim at breadth.
+
+Sweeps every registry workload across a configuration space spanning
+cache geometry and multiplier implementation, self-checks every cell
+against the workload's reference model, and reports which architectural
+family wins per workload class — demonstrating that the winner is
+workload-dependent, which is the whole argument for a reconfigurable
+("liquid") architecture.
+
+The matrix goes through the ResultCache, so a re-run is all cache hits
+and the report is byte-identical — the determinism contract the sweep
+engine carries over to matrices.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ArchitectureConfig, ConfigurationSpace, ResultCache, SweepRunner
+from repro.workloads import all_workloads, by_class
+
+from .conftest import print_table
+
+MAX_INSTRUCTIONS = 2_000_000
+
+
+def matrix_space() -> ConfigurationSpace:
+    """Two memory-system points x two datapath points: small but wide
+    enough that different workload classes pick different winners."""
+    space = ConfigurationSpace(ArchitectureConfig())
+    space.add_dimension("dcache_size", [1024, 8192])
+    space.add_dimension("multiplier", ["iterative", "16x16"])
+    return space
+
+
+@pytest.fixture(scope="module")
+def matrix_run(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("matrix-cache")
+    runner = SweepRunner(cache=ResultCache(cache_dir))
+    outcome = runner.sweep_matrix(all_workloads(), matrix_space(),
+                                  max_instructions=MAX_INSTRUCTIONS)
+    rerun = SweepRunner(cache=ResultCache(cache_dir)).sweep_matrix(
+        all_workloads(), matrix_space(),
+        max_instructions=MAX_INSTRUCTIONS)
+    return outcome, rerun
+
+
+def test_matrix_covers_registry_and_self_checks(matrix_run, benchmark):
+    outcome, _ = matrix_run
+    space_size = matrix_space().size
+    assert len(outcome.cells) == len(all_workloads()) * space_size
+    # Every cell passes its workload's self-check: sweeping the
+    # architecture never changes what the program computes.
+    assert outcome.failed_checks() == []
+    assert len(by_class()) >= 4
+
+    def report():
+        return outcome.report_text()
+
+    text = benchmark.pedantic(report, rounds=1, iterations=1)
+    winners = outcome.winner_by_class()
+    benchmark.extra_info["winner_by_class"] = winners
+    benchmark.extra_info["points"] = outcome.stats.points
+    rows = [[name, point.config.key(), point.cycles,
+             f"{point.seconds * 1e6:.1f}us"]
+            for name, point in outcome.winner_by_workload().items()]
+    print_table("Workload x config matrix winners",
+                ["workload", "winning config", "cycles", "model time"],
+                rows)
+    print(text)
+
+
+def test_matrix_rerun_is_byte_identical(matrix_run):
+    outcome, rerun = matrix_run
+    # Second run: every point served from the cache, no simulation.
+    assert rerun.stats.simulated == 0
+    assert rerun.stats.cache_hits == rerun.stats.points
+    assert outcome.canonical_json() == rerun.canonical_json()
+    report = json.loads(outcome.canonical_json())
+    assert set(report) == {"metric", "cells", "winner_by_workload",
+                           "winner_by_class"}
+
+
+def test_multiplier_sensitivity_separates_classes(matrix_run):
+    """The MAC-bound FIR kernel must prefer the fast multiplier, while
+    the multiplier choice must not change CRC32's cycle count at all —
+    per-workload sensitivity is what the registry axis metadata claims."""
+    outcome, _ = matrix_run
+    fir_winner = outcome.winner_by_workload()["fir"]
+    assert "mul16x16" in fir_winner.config.key()
+    by_dcache: dict[int, set[int]] = {}
+    for cell in outcome.cells_for("crc32"):
+        by_dcache.setdefault(cell.point.config.dcache.size, set()).add(
+            cell.point.cycles)
+    # Same dcache size, different multiplier -> identical cycles.
+    assert all(len(cycles) == 1 for cycles in by_dcache.values())

@@ -31,6 +31,8 @@ from repro.core.rewriter import (
 )
 from repro.core.space import ConfigurationSpace
 from repro.core.sweep import (
+    MatrixCell,
+    MatrixOutcome,
     ResultCache,
     SweepOutcome,
     SweepPoint,
@@ -79,6 +81,8 @@ __all__ = [
     "install_recipes",
     "ConfigurationSpace",
     "ResultCache",
+    "MatrixCell",
+    "MatrixOutcome",
     "SweepOutcome",
     "SweepPoint",
     "SweepRunner",

@@ -391,6 +391,118 @@ class SweepOutcome:
         return {point.config.key(): point for point in self.points}
 
 
+# ---------------------------------------------------------------------------
+# Workload x configuration matrices
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (workload, config) evaluation of a matrix sweep."""
+
+    workload: str
+    wclass: str
+    point: SweepPoint
+    #: The workload's self-check verdict over the point's RESULT word —
+    #: a sweep that makes a kernel compute the wrong answer is reported,
+    #: not silently ranked.
+    check_ok: bool
+
+
+@dataclass
+class MatrixOutcome:
+    """A full workload x configuration sweep, with per-class winners.
+
+    The registry's promise is that every cell is self-checked; the
+    ranking helpers answer the paper's actual question — *which
+    architectural family wins for which workload class*.
+    """
+
+    cells: list[MatrixCell]
+    stats: SweepStats
+
+    def failed_checks(self) -> list[MatrixCell]:
+        return [cell for cell in self.cells if not cell.check_ok]
+
+    def workloads(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.workload)
+        return list(seen)
+
+    def config_keys(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.point.config.key())
+        return list(seen)
+
+    def cells_for(self, workload: str) -> list[MatrixCell]:
+        return [cell for cell in self.cells if cell.workload == workload]
+
+    def winner_by_workload(self, metric: str = "seconds"
+                           ) -> dict[str, SweepPoint]:
+        """Per workload: the winning point by *metric* (sweep-order
+        tie-break, same rule as :func:`best_point`)."""
+        return {name: best_point([c.point for c in self.cells_for(name)],
+                                 metric)
+                for name in self.workloads()}
+
+    def winner_by_class(self, metric: str = "seconds") -> dict[str, str]:
+        """Per workload class: the config key minimizing the *summed*
+        metric across the class's workloads.  Ties break toward the
+        earlier config in sweep order."""
+        totals: dict[str, dict[str, list]] = {}
+        for cell in self.cells:
+            key = cell.point.config.key()
+            entry = totals.setdefault(cell.wclass, {}).setdefault(
+                key, [0.0, cell.point.index])
+            entry[0] += getattr(cell.point, metric)
+        return {wclass: min(per_config.items(),
+                            key=lambda kv: (kv[1][0], kv[1][1]))[0]
+                for wclass, per_config in totals.items()}
+
+    def report(self, metric: str = "seconds") -> dict:
+        """Everything deterministic about the matrix: every cell's
+        measured fields plus the winner tables."""
+        return {
+            "metric": metric,
+            "cells": [{
+                "workload": cell.workload,
+                "wclass": cell.wclass,
+                "check_ok": cell.check_ok,
+                **cell.point.report_fields(),
+            } for cell in self.cells],
+            "winner_by_workload": {
+                name: point.config.key()
+                for name, point in self.winner_by_workload(metric).items()},
+            "winner_by_class": self.winner_by_class(metric),
+        }
+
+    def canonical_json(self, metric: str = "seconds") -> str:
+        """Byte-stable serialization of :meth:`report` — equality of
+        these strings is the matrix determinism contract."""
+        return json.dumps(self.report(metric), sort_keys=True,
+                          separators=(",", ":"))
+
+    def report_text(self, metric: str = "seconds") -> str:
+        """The per-class winner table, human-shaped."""
+        lines = [f"workload x config matrix ({len(self.workloads())} "
+                 f"workloads x {len(self.config_keys())} configs, "
+                 f"metric={metric})"]
+        by_workload = self.winner_by_workload(metric)
+        for name in self.workloads():
+            cells = self.cells_for(name)
+            winner = by_workload[name]
+            checks = "all-ok" if all(c.check_ok for c in cells) else "CHECK-FAILED"
+            lines.append(f"  {name:<12} [{cells[0].wclass:<6}] "
+                         f"winner={winner.config.key()} "
+                         f"cycles={winner.cycles} ({checks})")
+        lines.append("  per-class winners:")
+        for wclass, key in sorted(self.winner_by_class(metric).items()):
+            lines.append(f"    {wclass:<8} -> {key}")
+        return "\n".join(lines)
+
+
 class SweepRunner:
     """Evaluate a configuration space over one or more images.
 
@@ -507,6 +619,48 @@ class SweepRunner:
         stats.wall_seconds = time.perf_counter() - started
         self._publish_obs(stats)
         return SweepOutcome(points=points, stats=stats)
+
+    def sweep_matrix(self, workloads: Sequence, space,
+                     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                     seed: int = 0,
+                     fast_forward: int = 0) -> MatrixOutcome:
+        """Evaluate every (workload, config) pair of the matrix.
+
+        *workloads* are :class:`repro.workloads.Workload` objects (any
+        object with ``name``/``wclass``/``image(seed)``/
+        ``check(result_word, seed)`` works); *space* is a configuration
+        iterable, evaluated once per workload image.  Every cell is
+        **self-checked** against the workload's reference model, and
+        every point persists through the runner's :class:`ResultCache`
+        exactly like a plain sweep — a re-run of the same matrix is all
+        cache hits and a byte-identical
+        :meth:`MatrixOutcome.canonical_json`.
+        """
+        configs = list(space)
+        workloads = list(workloads)
+        if not workloads:
+            raise ValueError("sweep_matrix needs at least one workload")
+        cells: list[MatrixCell] = []
+        totals = SweepStats()
+        started = time.perf_counter()
+        for workload in workloads:
+            outcome = self.sweep(configs, workload.image(seed),
+                                 max_instructions=max_instructions,
+                                 fast_forward=fast_forward)
+            for point in outcome.points:
+                cells.append(MatrixCell(
+                    workload=workload.name, wclass=workload.wclass,
+                    point=point,
+                    check_ok=workload.check(point.result_word, seed)))
+            totals.points += outcome.stats.points
+            totals.simulated += outcome.stats.simulated
+            totals.memory_hits += outcome.stats.memory_hits
+            totals.disk_hits += outcome.stats.disk_hits
+            totals.sim_seconds += outcome.stats.sim_seconds
+            totals.checkpoints_built += outcome.stats.checkpoints_built
+            totals.checkpoint_hits += outcome.stats.checkpoint_hits
+        totals.wall_seconds = time.perf_counter() - started
+        return MatrixOutcome(cells=cells, stats=totals)
 
     def _warm_checkpoint(self, image: Image, digest: str,
                          config: ArchitectureConfig, fast_forward: int,

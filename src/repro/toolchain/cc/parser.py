@@ -446,28 +446,97 @@ class Parser:
         raise CompileError(f"unexpected token '{token.text}'", token.line)
 
 
-def _fold_const(expr: A.Expr) -> int:
-    """Fold a compile-time constant expression (array sizes, opf codes)."""
+def _norm32(value: int, unsigned: bool) -> int:
+    """32-bit wrap-around into the type's value range: [0, 2**32) for
+    unsigned, [-2**31, 2**31) two's complement for signed."""
+    value &= 0xFFFFFFFF
+    if not unsigned and value >= (1 << 31):
+        value -= 1 << 32
+    return value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C signed division: truncate toward zero (Python's // floors)."""
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """C signed remainder: sign follows the dividend."""
+    if b == 0:
+        return 0
+    return a - _trunc_div(a, b) * b
+
+
+#: Lazy per-operator folders over (value, both-operands-unsigned).
+#: Division, remainder, right shift and the orderings are the operators
+#: whose result depends on signedness; shift counts are masked to the
+#: low five bits, matching the SPARC shifter's register behaviour.
+_FOLD_BINOPS = {
+    "+": lambda a, b, u: a + b,
+    "-": lambda a, b, u: a - b,
+    "*": lambda a, b, u: a * b,
+    "/": lambda a, b, u: (a // b if b else 0) if u else _trunc_div(a, b),
+    "%": lambda a, b, u: (a % b if b else 0) if u else _trunc_mod(a, b),
+    "<<": lambda a, b, u: a << (b & 31),
+    ">>": lambda a, b, u: a >> (b & 31),
+    "&": lambda a, b, u: a & b,
+    "|": lambda a, b, u: a | b,
+    "^": lambda a, b, u: a ^ b,
+    "==": lambda a, b, u: int(a == b),
+    "!=": lambda a, b, u: int(a != b),
+    "<": lambda a, b, u: int(a < b),
+    ">": lambda a, b, u: int(a > b),
+    "<=": lambda a, b, u: int(a <= b),
+    ">=": lambda a, b, u: int(a >= b),
+    "&&": lambda a, b, u: int(bool(a) and bool(b)),
+    "||": lambda a, b, u: int(bool(a) or bool(b)),
+}
+
+#: Operators whose folded result keeps the operands' unsignedness (the
+#: comparisons and logicals always produce a signed 0/1).
+_FOLD_VALUE_OPS = {"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"}
+
+
+def _fold_typed(expr: A.Expr) -> tuple[int, bool]:
+    """Fold to (value, is_unsigned) with C semantics: literals that
+    don't fit a signed int are unsigned (the 0xFFFFFFFF rule), the usual
+    arithmetic conversions make an operation unsigned when either side
+    is, and everything wraps to 32 bits."""
     if isinstance(expr, A.IntLit):
-        return expr.value
+        unsigned = expr.value >= (1 << 31)
+        return _norm32(expr.value, unsigned), unsigned
     if isinstance(expr, A.Unary):
-        inner = _fold_const(expr.operand)
-        return {"-": -inner, "~": ~inner, "!": int(not inner)}[expr.op]
+        inner, unsigned = _fold_typed(expr.operand)
+        if expr.op == "!":
+            return int(not inner), False
+        value = -inner if expr.op == "-" else ~inner
+        return _norm32(value, unsigned), unsigned
     if isinstance(expr, A.Binary):
-        a, b = _fold_const(expr.lhs), _fold_const(expr.rhs)
-        ops = {
-            "+": a + b, "-": a - b, "*": a * b,
-            "/": a // b if b else 0, "%": a % b if b else 0,
-            "<<": a << b, ">>": a >> b, "&": a & b, "|": a | b, "^": a ^ b,
-            "==": int(a == b), "!=": int(a != b), "<": int(a < b),
-            ">": int(a > b), "<=": int(a <= b), ">=": int(a >= b),
-            "&&": int(bool(a) and bool(b)), "||": int(bool(a) or bool(b)),
-        }
-        return ops[expr.op]
+        try:
+            fold = _FOLD_BINOPS[expr.op]
+        except KeyError:
+            raise CompileError(
+                f"operator '{expr.op}' is not a compile-time constant",
+                getattr(expr, "line", 0)) from None
+        (a, a_u), (b, b_u) = _fold_typed(expr.lhs), _fold_typed(expr.rhs)
+        unsigned = a_u or b_u
+        if unsigned:  # usual arithmetic conversions: compute on u32
+            a, b = _norm32(a, True), _norm32(b, True)
+        result_unsigned = unsigned and expr.op in _FOLD_VALUE_OPS
+        return _norm32(fold(a, b, unsigned), result_unsigned), result_unsigned
     if isinstance(expr, A.SizeOf) and expr.target is not None:
-        return expr.target.size
+        return expr.target.size, True
     raise CompileError("expression is not a compile-time constant",
                        getattr(expr, "line", 0))
+
+
+def _fold_const(expr: A.Expr) -> int:
+    """Fold a compile-time constant expression (array sizes, opf codes,
+    global initializers)."""
+    return _fold_typed(expr)[0]
 
 
 def parse(source: str) -> A.TranslationUnit:

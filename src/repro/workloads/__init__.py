@@ -1,0 +1,37 @@
+"""repro.workloads — the self-checking workload registry.
+
+Importing this package populates the registry with every kernel module;
+consumers reach the registry through :func:`all_workloads`, :func:`get`
+and :func:`by_class`.
+"""
+
+from repro.workloads.base import (
+    CLASSES,
+    DEFAULT_SEED,
+    REGISTRY,
+    SelfCheckResult,
+    Workload,
+    all_workloads,
+    by_class,
+    get,
+    register,
+)
+
+# Kernel modules register themselves at import time; registration order
+# here is the registry's canonical order.
+from repro.workloads import crypto as _crypto          # noqa: E402,F401
+from repro.workloads import dsp as _dsp                # noqa: E402,F401
+from repro.workloads import packet as _packet          # noqa: E402,F401
+from repro.workloads import sortsearch as _sortsearch  # noqa: E402,F401
+
+__all__ = [
+    "CLASSES",
+    "DEFAULT_SEED",
+    "REGISTRY",
+    "SelfCheckResult",
+    "Workload",
+    "all_workloads",
+    "by_class",
+    "get",
+    "register",
+]

@@ -1,0 +1,206 @@
+"""Crypto workloads: XTEA block encryption and a DES-style Feistel
+round function with S-box table lookups.
+
+The Agile Algorithm-On-Demand Co-Processor (PAPERS.md) motivates block
+ciphers as the canonical reconfigurable workload class: tight ALU loops
+of adds/xors/shifts (XTEA) and table-driven substitution rounds (DES),
+both sensitive to the core's datapath configuration rather than the
+memory system.
+"""
+
+from __future__ import annotations
+
+from repro.utils import u32
+from repro.workloads.base import (
+    Workload,
+    c_array,
+    mix_digest,
+    register,
+    rng_for,
+    rol32,
+)
+
+_DELTA = 0x9E3779B9
+_XTEA_BLOCKS = 4          # pairs of 32-bit words
+_XTEA_ROUNDS = 32
+
+_XTEA_TEMPLATE = """\
+/* XTEA: encrypt {blocks} 64-bit blocks in place, digest the ciphertext. */
+{v_init}
+
+{key_init}
+
+int main(void) {{
+    unsigned b;
+    unsigned i;
+    unsigned h = 0;
+    for (b = 0; b < {words}; b += 2) {{
+        unsigned v0 = v[b];
+        unsigned v1 = v[b + 1];
+        unsigned sum = 0;
+        for (i = 0; i < {rounds}; i++) {{
+            v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+            sum += {delta}u;
+            v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+        }}
+        v[b] = v0;
+        v[b + 1] = v1;
+    }}
+    for (i = 0; i < {words}; i++) {{
+        h = ((h << 5) | (h >> 27)) ^ v[i];
+    }}
+    return (int)h;
+}}
+"""
+
+
+def _xtea_generate(seed: int) -> dict:
+    rng = rng_for("xtea", seed)
+    return {
+        "v": [rng.getrandbits(32) for _ in range(2 * _XTEA_BLOCKS)],
+        "key": [rng.getrandbits(32) for _ in range(4)],
+    }
+
+
+def _xtea_render(data: dict) -> str:
+    return _XTEA_TEMPLATE.format(
+        blocks=_XTEA_BLOCKS,
+        words=len(data["v"]),
+        rounds=_XTEA_ROUNDS,
+        delta=_DELTA,
+        v_init=c_array("unsigned", "v", data["v"], per_line=4),
+        key_init=c_array("unsigned", "key", data["key"], per_line=4),
+    )
+
+
+def _xtea_reference(data: dict) -> int:
+    v = list(data["v"])
+    key = data["key"]
+    for b in range(0, len(v), 2):
+        v0, v1 = v[b], v[b + 1]
+        total = 0
+        for _ in range(_XTEA_ROUNDS):
+            v0 = u32(v0 + ((u32((v1 << 4)) ^ (v1 >> 5)) + v1
+                           ^ u32(total + key[total & 3])))
+            total = u32(total + _DELTA)
+            v1 = u32(v1 + ((u32((v0 << 4)) ^ (v0 >> 5)) + v0
+                           ^ u32(total + key[(total >> 11) & 3])))
+        v[b], v[b + 1] = v0, v1
+    digest = 0
+    for word in v:
+        digest = mix_digest(digest, word)
+    return digest
+
+
+register(Workload(
+    name="xtea",
+    wclass="crypto",
+    description="XTEA block cipher, 32 Feistel rounds over "
+                f"{_XTEA_BLOCKS} blocks",
+    sweep_axis="pipeline_depth",
+    generate=_xtea_generate,
+    render=_xtea_render,
+    reference=_xtea_reference,
+    footprint=lambda data: 4 * (len(data["v"]) + len(data["key"])),
+))
+
+
+# ---------------------------------------------------------------------------
+# DES-style round function
+# ---------------------------------------------------------------------------
+
+_DES_BLOCKS = 4           # pairs of (L, R) words
+_DES_ROUNDS = 16
+
+_DES_TEMPLATE = """\
+/* DES-style Feistel network: S-box substitution + rotation mixing. */
+{sbox_init}
+
+{blocks_init}
+
+{keys_init}
+
+unsigned f(unsigned r, unsigned k) {{
+    unsigned x = r ^ k;
+    unsigned out = 0;
+    unsigned i;
+    for (i = 0; i < 8; i++) {{
+        unsigned idx = ((x >> (i * 4)) & 15) | ((i & 3) << 4);
+        out ^= sbox[idx] << (i * 4);
+    }}
+    return (out << 11) | (out >> 21);
+}}
+
+int main(void) {{
+    unsigned b;
+    unsigned r;
+    unsigned h = 0;
+    for (b = 0; b < {words}; b += 2) {{
+        unsigned left = blocks[b];
+        unsigned right = blocks[b + 1];
+        for (r = 0; r < {rounds}; r++) {{
+            unsigned t = right;
+            right = left ^ f(right, keys[r]);
+            left = t;
+        }}
+        h = ((h << 5) | (h >> 27)) ^ left;
+        h = ((h << 5) | (h >> 27)) ^ right;
+    }}
+    return (int)h;
+}}
+"""
+
+
+def _des_generate(seed: int) -> dict:
+    rng = rng_for("des_round", seed)
+    return {
+        "sbox": [rng.getrandbits(4) for _ in range(64)],
+        "blocks": [rng.getrandbits(32) for _ in range(2 * _DES_BLOCKS)],
+        "keys": [rng.getrandbits(32) for _ in range(_DES_ROUNDS)],
+    }
+
+
+def _des_render(data: dict) -> str:
+    return _DES_TEMPLATE.format(
+        words=len(data["blocks"]),
+        rounds=_DES_ROUNDS,
+        sbox_init=c_array("unsigned", "sbox", data["sbox"], per_line=16),
+        blocks_init=c_array("unsigned", "blocks", data["blocks"], per_line=4),
+        keys_init=c_array("unsigned", "keys", data["keys"], per_line=4),
+    )
+
+
+def _des_f(r: int, k: int, sbox: list[int]) -> int:
+    x = r ^ k
+    out = 0
+    for i in range(8):
+        idx = ((x >> (i * 4)) & 15) | ((i & 3) << 4)
+        out ^= u32(sbox[idx] << (i * 4))
+    return rol32(out, 11)
+
+
+def _des_reference(data: dict) -> int:
+    sbox, keys = data["sbox"], data["keys"]
+    digest = 0
+    blocks = data["blocks"]
+    for b in range(0, len(blocks), 2):
+        left, right = blocks[b], blocks[b + 1]
+        for r in range(_DES_ROUNDS):
+            left, right = right, left ^ _des_f(right, keys[r], sbox)
+        digest = mix_digest(digest, left)
+        digest = mix_digest(digest, right)
+    return digest
+
+
+register(Workload(
+    name="des_round",
+    wclass="crypto",
+    description="DES-style Feistel rounds with S-box table lookups, "
+                f"{_DES_ROUNDS} rounds over {_DES_BLOCKS} blocks",
+    sweep_axis="multiplier",
+    generate=_des_generate,
+    render=_des_render,
+    reference=_des_reference,
+    footprint=lambda data: 4 * (len(data["sbox"]) + len(data["blocks"])
+                                + len(data["keys"])),
+))

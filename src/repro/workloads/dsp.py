@@ -1,0 +1,154 @@
+"""DSP workloads: FIR filtering and bitwise CRC32.
+
+FIR is the multiply-accumulate archetype — its cycle count moves with
+the multiplier implementation (the paper's §1 "specialized hardware to
+accelerate frequently used instructions").  CRC32 is the opposite:
+pure shift/xor/branch, sensitive to pipeline depth, with no multiplies
+at all.
+"""
+
+from __future__ import annotations
+
+from repro.utils import u32
+from repro.workloads.base import (
+    Workload,
+    c_array,
+    mix_digest,
+    register,
+    rng_for,
+)
+
+_FIR_SAMPLES = 64
+_FIR_TAPS = 8
+
+_FIR_TEMPLATE = """\
+/* FIR filter: {taps}-tap convolution over {samples} samples. */
+{x_init}
+
+{h_init}
+
+int main(void) {{
+    int n;
+    int k;
+    unsigned acc = 0;
+    for (n = 0; n < {samples}; n++) {{
+        int s = 0;
+        for (k = 0; k < {taps}; k++) {{
+            if (n - k >= 0) {{
+                s += h[k] * x[n - k];
+            }}
+        }}
+        acc = ((acc << 5) | (acc >> 27)) ^ (unsigned)s;
+    }}
+    return (int)acc;
+}}
+"""
+
+
+def _fir_generate(seed: int) -> dict:
+    rng = rng_for("fir", seed)
+    return {
+        "x": [rng.randint(-4096, 4096) for _ in range(_FIR_SAMPLES)],
+        "h": [rng.randint(-64, 64) for _ in range(_FIR_TAPS)],
+    }
+
+
+def _fir_render(data: dict) -> str:
+    return _FIR_TEMPLATE.format(
+        samples=len(data["x"]), taps=len(data["h"]),
+        x_init=c_array("int", "x", data["x"]),
+        h_init=c_array("int", "h", data["h"]),
+    )
+
+
+def _fir_reference(data: dict) -> int:
+    x, h = data["x"], data["h"]
+    digest = 0
+    for n in range(len(x)):
+        s = 0
+        for k in range(len(h)):
+            if n - k >= 0:
+                s = u32(s + h[k] * x[n - k])
+        digest = mix_digest(digest, s)
+    return digest
+
+
+register(Workload(
+    name="fir",
+    wclass="dsp",
+    description=f"{_FIR_TAPS}-tap FIR filter over {_FIR_SAMPLES} samples "
+                "(multiply-accumulate)",
+    sweep_axis="multiplier",
+    generate=_fir_generate,
+    render=_fir_render,
+    reference=_fir_reference,
+    footprint=lambda data: 4 * (len(data["x"]) + len(data["h"])),
+))
+
+
+# ---------------------------------------------------------------------------
+# CRC32
+# ---------------------------------------------------------------------------
+
+_CRC_BYTES = 48
+_CRC_POLY = 0xEDB88320
+
+_CRC_TEMPLATE = """\
+/* CRC32 (IEEE 802.3 polynomial), bit at a time. */
+{data_init}
+
+int main(void) {{
+    unsigned crc = 0xFFFFFFFF;
+    unsigned i;
+    unsigned b;
+    for (i = 0; i < {length}; i++) {{
+        crc ^= data[i];
+        for (b = 0; b < 8; b++) {{
+            if (crc & 1) {{
+                crc = (crc >> 1) ^ {poly}u;
+            }} else {{
+                crc >>= 1;
+            }}
+        }}
+    }}
+    return (int)(crc ^ 0xFFFFFFFF);
+}}
+"""
+
+
+def _crc_generate(seed: int) -> dict:
+    rng = rng_for("crc32", seed)
+    return {"data": [rng.getrandbits(8) for _ in range(_CRC_BYTES)]}
+
+
+def _crc_render(data: dict) -> str:
+    return _CRC_TEMPLATE.format(
+        length=len(data["data"]), poly=_CRC_POLY,
+        data_init=c_array("unsigned char", "data", data["data"],
+                          per_line=12),
+    )
+
+
+def _crc_reference(data: dict) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data["data"]:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC_POLY
+            else:
+                crc >>= 1
+    return u32(crc ^ 0xFFFFFFFF)
+
+
+register(Workload(
+    name="crc32",
+    wclass="dsp",
+    description=f"bitwise CRC32 over {_CRC_BYTES} bytes "
+                "(shift/xor/branch loop)",
+    sweep_axis="pipeline_depth",
+    generate=_crc_generate,
+    render=_crc_render,
+    reference=_crc_reference,
+    footprint=lambda data: len(data["data"]),
+))

@@ -1,0 +1,140 @@
+"""Packet-processing workload: IPv4 header checksum + classification.
+
+The natural workload for the FPX — a network device: validate the ones'
+complement header checksum of a batch of IPv4 headers, then classify
+the valid ones by protocol and fragmentation.  Byte loads, 16-bit
+shifts and unsigned compares throughout; sensitive to the data cache
+(the headers stream through it).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, c_array, register, rng_for
+
+_NPACKETS = 12
+_HDR = 20  # bytes per IPv4 header (no options)
+
+_TEMPLATE = """\
+/* IPv4 header checksum + classification over {npackets} headers. */
+{pkt_init}
+
+int main(void) {{
+    unsigned n;
+    unsigned w;
+    unsigned valid = 0;
+    unsigned bad = 0;
+    unsigned tcp = 0;
+    unsigned udp = 0;
+    unsigned other = 0;
+    unsigned frag = 0;
+    for (n = 0; n < {npackets}; n++) {{
+        unsigned base = n * {hdr};
+        unsigned sum = 0;
+        for (w = 0; w < {hdr}; w += 2) {{
+            sum += ((unsigned)pkt[base + w] << 8) | pkt[base + w + 1];
+        }}
+        sum = (sum & 0xFFFF) + (sum >> 16);
+        sum = (sum & 0xFFFF) + (sum >> 16);
+        if (sum == 0xFFFF) {{
+            unsigned proto = pkt[base + 9];
+            unsigned fragoff = (((unsigned)pkt[base + 6] & 0x1F) << 8)
+                | pkt[base + 7];
+            valid++;
+            if (proto == 6) {{
+                tcp++;
+            }} else if (proto == 17) {{
+                udp++;
+            }} else {{
+                other++;
+            }}
+            if (fragoff) {{
+                frag++;
+            }}
+        }} else {{
+            bad++;
+        }}
+    }}
+    return (int)((valid << 24) | (bad << 20) | (frag << 16)
+                 | (tcp << 8) | (udp << 4) | other);
+}}
+"""
+
+
+def _checksum(header: list[int]) -> int:
+    total = 0
+    for w in range(0, _HDR, 2):
+        total += (header[w] << 8) | header[w + 1]
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def _generate(seed: int) -> dict:
+    rng = rng_for("ipcheck", seed)
+    packets: list[int] = []
+    for _ in range(_NPACKETS):
+        header = [0] * _HDR
+        header[0] = 0x45                       # version 4, IHL 5
+        header[1] = rng.getrandbits(8)         # DSCP/ECN
+        length = rng.randint(_HDR, 1500)
+        header[2], header[3] = length >> 8, length & 0xFF
+        ident = rng.getrandbits(16)
+        header[4], header[5] = ident >> 8, ident & 0xFF
+        fragoff = rng.choice([0, 0, 0, rng.getrandbits(13)])
+        header[6] = (fragoff >> 8) & 0x1F
+        header[7] = fragoff & 0xFF
+        header[8] = rng.randint(1, 64)         # TTL
+        header[9] = rng.choice([6, 6, 17, 17, 1, 47, 89])
+        for i in range(12, 20):                # src/dst addresses
+            header[i] = rng.getrandbits(8)
+        # Correct checksum, then corrupt ~1 in 4 headers.
+        checksum = 0xFFFF ^ _checksum(header)
+        header[10], header[11] = checksum >> 8, checksum & 0xFF
+        if rng.random() < 0.25:
+            corrupt = rng.randrange(_HDR)
+            header[corrupt] ^= 1 << rng.randrange(8)
+        packets.extend(header)
+    return {"pkt": packets}
+
+
+def _render(data: dict) -> str:
+    return _TEMPLATE.format(
+        npackets=len(data["pkt"]) // _HDR, hdr=_HDR,
+        pkt_init=c_array("unsigned char", "pkt", data["pkt"], per_line=10),
+    )
+
+
+def _reference(data: dict) -> int:
+    pkt = data["pkt"]
+    valid = bad = tcp = udp = other = frag = 0
+    for n in range(len(pkt) // _HDR):
+        header = pkt[n * _HDR:(n + 1) * _HDR]
+        if _checksum(header) == 0xFFFF:
+            valid += 1
+            proto = header[9]
+            fragoff = ((header[6] & 0x1F) << 8) | header[7]
+            if proto == 6:
+                tcp += 1
+            elif proto == 17:
+                udp += 1
+            else:
+                other += 1
+            if fragoff:
+                frag += 1
+        else:
+            bad += 1
+    return ((valid << 24) | (bad << 20) | (frag << 16)
+            | (tcp << 8) | (udp << 4) | other)
+
+
+register(Workload(
+    name="ipcheck",
+    wclass="packet",
+    description=f"IPv4 header checksum + protocol/fragment classification "
+                f"over {_NPACKETS} headers",
+    sweep_axis="dcache_size",
+    generate=_generate,
+    render=_render,
+    reference=_reference,
+    footprint=lambda data: len(data["pkt"]),
+))

@@ -1,0 +1,174 @@
+"""Sorting and string-search workloads.
+
+The recursive quicksort is deliberately *not* iterative: its recursion
+rides the SPARC register-window machinery deep enough to take window
+overflow/underflow traps, which makes it the difftest trap-parity seed
+(and the workload whose cycle count moves with NWINDOWS).  The string
+search is byte-compare bound — branchy, cache-resident, with a match
+digest so position information lands in the RESULT word.
+"""
+
+from __future__ import annotations
+
+from repro.utils import u32
+from repro.workloads.base import Workload, c_array, register, rng_for
+
+_SORT_N = 96
+
+_SORT_TEMPLATE = """\
+/* Recursive quicksort over {n} ints, then verify + digest. */
+{a_init}
+
+void sort_span(int lo, int hi) {{
+    int p;
+    int i;
+    int j;
+    if (lo >= hi) {{
+        return;
+    }}
+    p = a[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {{
+        while (a[i] < p) {{
+            i++;
+        }}
+        while (a[j] > p) {{
+            j--;
+        }}
+        if (i <= j) {{
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }}
+    }}
+    sort_span(lo, j);
+    sort_span(i, hi);
+}}
+
+int main(void) {{
+    int k;
+    unsigned h = 0;
+    sort_span(0, {n} - 1);
+    for (k = 0; k < {n}; k++) {{
+        if (k > 0 && a[k - 1] > a[k]) {{
+            return -1;  /* not sorted: fail the self-check loudly */
+        }}
+        h = ((h << 5) | (h >> 27)) + (unsigned)a[k] + (unsigned)k;
+    }}
+    return (int)h;
+}}
+"""
+
+
+def _sort_generate(seed: int) -> dict:
+    rng = rng_for("qsort_rec", seed)
+    return {"a": [rng.randint(-100_000, 100_000) for _ in range(_SORT_N)]}
+
+
+def _sort_render(data: dict) -> str:
+    return _SORT_TEMPLATE.format(
+        n=len(data["a"]),
+        a_init=c_array("int", "a", data["a"], per_line=8),
+    )
+
+
+def _sort_reference(data: dict) -> int:
+    digest = 0
+    for k, value in enumerate(sorted(data["a"])):
+        digest = u32(((digest << 5) | (digest >> 27)) + u32(value) + k)
+    return digest
+
+
+register(Workload(
+    name="qsort_rec",
+    wclass="sort",
+    description=f"recursive quicksort over {_SORT_N} ints "
+                "(register-window overflow traps)",
+    sweep_axis="nwindows",
+    generate=_sort_generate,
+    render=_sort_render,
+    reference=_sort_reference,
+    footprint=lambda data: 4 * len(data["a"]),
+    takes_window_traps=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# String search
+# ---------------------------------------------------------------------------
+
+_TEXT_N = 192
+_ALPHABET = "abcd"
+
+_SEARCH_TEMPLATE = """\
+/* Naive substring search: count matches, digest their positions. */
+{text_init}
+
+{pat_init}
+
+int main(void) {{
+    int count = 0;
+    unsigned h = 0;
+    int i;
+    int j;
+    for (i = 0; i + {m} <= {n}; i++) {{
+        j = 0;
+        while (j < {m} && text[i + j] == pat[j]) {{
+            j++;
+        }}
+        if (j == {m}) {{
+            count++;
+            h = h * 33 + (unsigned)i;
+        }}
+    }}
+    return (int)(h ^ ((unsigned)count << 24));
+}}
+"""
+
+
+def _search_generate(seed: int) -> dict:
+    rng = rng_for("strsearch", seed)
+    text = [rng.choice(_ALPHABET) for _ in range(_TEXT_N)]
+    m = rng.randint(2, 4)
+    pattern = [rng.choice(_ALPHABET) for _ in range(m)]
+    # Splice the pattern in a few times so matches are guaranteed.
+    for _ in range(rng.randint(2, 5)):
+        start = rng.randrange(_TEXT_N - m)
+        text[start:start + m] = pattern
+    return {"text": [ord(c) for c in text],
+            "pat": [ord(c) for c in pattern]}
+
+
+def _search_render(data: dict) -> str:
+    return _SEARCH_TEMPLATE.format(
+        n=len(data["text"]), m=len(data["pat"]),
+        text_init=c_array("char", "text", data["text"], per_line=12),
+        pat_init=c_array("char", "pat", data["pat"], per_line=12),
+    )
+
+
+def _search_reference(data: dict) -> int:
+    text, pat = data["text"], data["pat"]
+    count = 0
+    digest = 0
+    for i in range(len(text) - len(pat) + 1):
+        if text[i:i + len(pat)] == pat:
+            count += 1
+            digest = u32(digest * 33 + i)
+    return u32(digest ^ u32(count << 24))
+
+
+register(Workload(
+    name="strsearch",
+    wclass="search",
+    description=f"naive substring search over {_TEXT_N} chars "
+                "(byte compares, match-position digest)",
+    sweep_axis="dcache_size",
+    generate=_search_generate,
+    render=_search_render,
+    reference=_search_reference,
+    footprint=lambda data: len(data["text"]) + len(data["pat"]),
+))

@@ -1,0 +1,108 @@
+"""Regression tests for compile-time constant folding corner cases.
+
+The workload kernels (repro.workloads) flushed these out: the folder
+used Python's floor division/modulo for global initializers (C requires
+truncation toward zero), evaluated *every* operator eagerly — so any
+folded expression with a negative right operand crashed on the shift
+entries — and ignored the unsignedness of literals like ``0xFFFFFFFF``,
+folding their division/shift/comparison with signed semantics.
+"""
+
+import pytest
+
+from repro.core.sim import simulate
+from repro.toolchain.cc import compile_c
+from repro.toolchain.cc.cast import CompileError
+from repro.toolchain.driver import compile_c_program
+from repro.utils import s32
+
+
+def run(source: str) -> int:
+    report = simulate(compile_c_program(source), max_instructions=300_000)
+    return s32(report.result_word)
+
+
+class TestSignedTruncation:
+    """C99 6.5.5: / truncates toward zero; % follows the dividend."""
+
+    def test_global_init_negative_division_truncates(self):
+        assert run("int g = -7 / 2;\nint main(void) { return g; }") == -3
+
+    def test_global_init_negative_modulo_follows_dividend(self):
+        assert run("int g = -7 % 2;\nint main(void) { return g; }") == -1
+
+    def test_both_operands_negative(self):
+        assert run("int g = (-9) / (-2);\nint main(void) { return g; }") == 4
+
+    def test_negative_divisor_modulo(self):
+        assert run("int g = 7 % -2;\nint main(void) { return g; }") == 1
+
+    def test_folded_matches_runtime(self):
+        # The same expression folded at compile time and computed in
+        # registers must agree — the invariant the fold bug broke.
+        assert run("""
+int folded = -13 / 4;
+int main(void) {
+    int a = -13, b = 4;
+    return (folded == a / b) + (-13 % 4 == a % b);
+}""") == 2
+
+
+class TestNegativeOperandsDontCrash:
+    """The old folder built its op table eagerly, so a negative right
+    operand raised ValueError from the shift entries even when the
+    expression was a division."""
+
+    def test_division_by_negative_compiles(self):
+        compile_c("int g = 9 / -3;\nint main(void) { return g; }")
+
+    def test_initializer_list_with_negative_operands(self):
+        assert run("""
+int t[4] = {-7 / 2, 7 % -2, 9 / -3, -8 >> 1};
+int main(void) { return t[0] * 1000 + t[1] * 100 + t[2] * 10 + t[3]; }
+""") == -3 * 1000 + 1 * 100 + -3 * 10 + -4
+
+
+class TestUnsignedLiterals:
+    """Hex literals that don't fit a signed int are unsigned, and the
+    usual arithmetic conversions make the whole operation unsigned."""
+
+    def test_unsigned_division_of_max(self):
+        assert run("unsigned g = 0xFFFFFFFF / 16;\n"
+                   "int main(void) { return (int)(g >> 24); }") == 0x0F
+
+    def test_unsigned_right_shift_is_logical(self):
+        assert run("unsigned g = 0xFFFFFFFF >> 4;\n"
+                   "int main(void) { return (int)(g >> 24); }") == 0x0F
+
+    def test_unsigned_comparison_of_big_literal(self):
+        assert run("int g = 0xFFFFFFFF > 1;\n"
+                   "int main(void) { return g; }") == 1
+
+    def test_signed_shift_still_arithmetic(self):
+        assert run("int g = -8 >> 1;\nint main(void) { return g; }") == -4
+
+
+class TestWrapAround:
+    def test_multiplication_wraps_to_32_bits(self):
+        assert run("int g = 100000 * 100000;\n"
+                   "int main(void) { return g; }") == 1410065408
+
+    def test_shift_into_sign_bit(self):
+        assert run("unsigned x = 1 << 31;\n"
+                   "int main(void) { return (int)(x >> 31); }") == 1
+
+    def test_division_by_zero_folds_to_zero(self):
+        # Not UB-crash territory: the folder's documented behaviour.
+        assert run("int g = 5 / 0;\nint main(void) { return g; }") == 0
+
+    def test_array_size_folding_unchanged(self):
+        assert run("int a[6 * 2 - 2];\n"
+                   "int main(void) { return sizeof(a); }") == 40
+
+
+class TestStillRejectsNonConstants:
+    def test_non_constant_initializer_is_an_error(self):
+        with pytest.raises(CompileError):
+            compile_c("int f(void) { return 1; }\nint g = f();\n"
+                      "int main(void) { return g; }")

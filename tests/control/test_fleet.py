@@ -23,6 +23,8 @@ from repro.core.config import BASELINE
 from repro.obs import MetricsRegistry
 from repro.toolchain.driver import compile_c_program
 
+pytestmark = pytest.mark.chaos
+
 ALT = BASELINE.with_dcache_size(8192)
 
 
@@ -213,6 +215,7 @@ class TestSupervision:
         assert device.runtime.reconfigurations == 2
 
 
+@pytest.mark.slow
 class TestDeterminism:
     def test_two_chaos_runs_are_byte_identical(self, image):
         def run():

@@ -21,6 +21,8 @@ from repro.core.sweep import ResultCache, SweepRunner
 from repro.obs.collect import simulator_snapshot
 from repro.toolchain.driver import compile_c_program
 
+pytestmark = pytest.mark.slow
+
 #: Big enough that WARMUP leaves a substantial measured window (the
 #: loop retires ~43k instructions; warmup covers only the first 3k).
 WORKLOAD = """

@@ -68,6 +68,7 @@ class TestSynthesis:
         assert utilization.frequency_mhz == 30.0
 
 
+@pytest.mark.slow
 class TestBehaviour:
     @pytest.fixture(scope="class")
     def images(self):

@@ -13,7 +13,9 @@ timing shims) can be at fault.
 
 from __future__ import annotations
 
-from repro.core.sim import Simulator
+from dataclasses import dataclass, field
+
+from repro.core.sim import SimReport, Simulator
 from repro.cpu.archstate import ArchState
 from repro.toolchain.driver import SourceFile, build_image
 
@@ -26,15 +28,38 @@ def build(asm_text: str):
                        with_crt0=False, entry_symbol="_start")
 
 
-def compare_engines(asm_text: str) -> list[str]:
-    """Run on both engines; return mismatch descriptions (empty = pass)."""
-    image = build(asm_text)
+@dataclass
+class DiffResult:
+    """One differential run: mismatch list plus both engines' reports.
 
+    ``traps`` logs every (tt, pc) the cycle-accurate engine took — the
+    functional engine's trap *count* is already proven equal through the
+    ArchState comparison, so one engine's log describes both.
+    """
+
+    problems: list[str]
+    accurate: SimReport
+    functional: SimReport
+    traps: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def trap_types(self) -> set[int]:
+        return {tt for tt, _pc in self.traps}
+
+
+def compare_image(image, max_instructions: int = MAX_INSTRUCTIONS
+                  ) -> DiffResult:
+    """Run a built image on both engines and compare everything."""
     accurate = Simulator(capture_memory_trace=False, obs=False)
-    report_a = accurate.run(image, max_instructions=MAX_INSTRUCTIONS)
+    traps: list[tuple[int, int]] = []
+    accurate.cpu.on_trap = lambda tt, pc: traps.append((tt, pc))
+    report_a = accurate.run(image, max_instructions=max_instructions)
     functional = Simulator(capture_memory_trace=False, obs=False)
     report_f = functional.run_functional(image,
-                                         max_instructions=MAX_INSTRUCTIONS)
+                                         max_instructions=max_instructions)
 
     problems = []
     state_a = ArchState.capture(accurate)
@@ -49,7 +74,12 @@ def compare_engines(asm_text: str) -> list[str]:
         problems.append(
             f"result_word: accurate={report_a.result_word} "
             f"functional={report_f.result_word}")
-    return problems
+    return DiffResult(problems, report_a, report_f, traps)
+
+
+def compare_engines(asm_text: str) -> list[str]:
+    """Run on both engines; return mismatch descriptions (empty = pass)."""
+    return compare_image(build(asm_text)).problems
 
 
 def _describe_state_diff(a: ArchState, b: ArchState) -> list[str]:

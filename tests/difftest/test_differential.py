@@ -22,6 +22,8 @@ import pytest
 from tests.difftest import gen
 from tests.difftest.harness import compare_engines
 
+pytestmark = pytest.mark.difftest
+
 PROGRAMS = int(os.environ.get("DIFFTEST_PROGRAMS", "200"))
 CHUNKS = 20
 CORPUS = pathlib.Path(__file__).parent / "corpus"
@@ -52,6 +54,7 @@ def _shrink_and_record(seed: int, problems: list[str]) -> str:
     return str(path)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("chunk", range(CHUNKS))
 def test_generated_programs_match(chunk):
     for seed in _seeds_for(chunk):

@@ -18,6 +18,8 @@ from repro.core.sim import Simulator
 from repro.cpu.archstate import ArchState
 from tests.difftest.harness import build, compare_engines
 
+pytestmark = pytest.mark.difftest
+
 PROLOGUE = """
     .text
     .global _start

@@ -7,6 +7,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
@@ -26,4 +28,5 @@ def test_expected_examples_present():
         "remote_lab.py",
         "custom_instruction.py",
         "instruction_profiling.py",
+        "workload_browser.py",
     }

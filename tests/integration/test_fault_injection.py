@@ -12,6 +12,8 @@ from repro.toolchain import assemble, link
 from repro.toolchain.driver import compile_c_program
 from repro.toolchain.linker import MemoryMapScript
 
+pytestmark = pytest.mark.chaos
+
 CLIENT_IP = "10.0.0.9"
 CLIENT_PORT = 55000
 

@@ -16,6 +16,8 @@ from repro.mem.memmap import DEFAULT_MAP
 from repro.toolchain.driver import SourceFile, build_image
 from repro.utils import s32
 
+pytestmark = pytest.mark.slow
+
 SDRAM_TEXT_BASE = DEFAULT_MAP.sdram_base + 0x10_0000  # clear of DMA window
 
 SOURCE = """

@@ -23,6 +23,8 @@ from repro.net.faults import (
 from repro.net.protocol import LeonState
 from repro.obs import MetricsRegistry
 
+pytestmark = pytest.mark.chaos
+
 DEVICE_IP = "128.252.153.2"
 PORT = 2000
 BASE = 0x4000_1000

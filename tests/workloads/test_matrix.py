@@ -1,0 +1,104 @@
+"""sweep_matrix: self-checked workload x config sweeps, deterministic
+through the ResultCache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    ArchitectureConfig,
+    ConfigurationSpace,
+    ResultCache,
+    SweepRunner,
+)
+from repro.workloads import get
+
+WORKLOADS = [get("crc32"), get("strsearch")]
+
+
+def small_space() -> ConfigurationSpace:
+    space = ConfigurationSpace(ArchitectureConfig())
+    space.add_dimension("dcache_size", [1024, 4096])
+    return space
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("matrix")
+
+
+@pytest.fixture(scope="module")
+def outcome(cache_dir):
+    cache = ResultCache(cache_dir)
+    return SweepRunner(cache=cache).sweep_matrix(WORKLOADS, small_space())
+
+
+class TestMatrixShape:
+    def test_one_cell_per_pair(self, outcome):
+        assert len(outcome.cells) == len(WORKLOADS) * small_space().size
+        assert outcome.workloads() == [w.name for w in WORKLOADS]
+        assert len(outcome.config_keys()) == small_space().size
+
+    def test_every_cell_self_checked(self, outcome):
+        assert outcome.failed_checks() == []
+        for cell in outcome.cells:
+            assert cell.check_ok
+            assert cell.wclass == get(cell.workload).wclass
+
+    def test_winners_cover_every_workload_and_class(self, outcome):
+        by_workload = outcome.winner_by_workload()
+        assert set(by_workload) == {w.name for w in WORKLOADS}
+        by_class = outcome.winner_by_class()
+        assert set(by_class) == {w.wclass for w in WORKLOADS}
+        for key in by_class.values():
+            assert key in outcome.config_keys()
+
+    def test_report_text_names_everything(self, outcome):
+        text = outcome.report_text()
+        for workload in WORKLOADS:
+            assert workload.name in text
+        assert "per-class winners" in text
+        assert "CHECK-FAILED" not in text
+
+
+class TestMatrixDeterminism:
+    def test_rerun_is_all_cache_hits_and_byte_identical(
+            self, outcome, cache_dir):
+        rerun = SweepRunner(cache=ResultCache(cache_dir)).sweep_matrix(
+            WORKLOADS, small_space())
+        assert rerun.stats.simulated == 0
+        assert rerun.stats.cache_hits == rerun.stats.points
+        assert rerun.canonical_json() == outcome.canonical_json()
+
+    def test_canonical_json_is_stable(self, outcome):
+        first = outcome.canonical_json()
+        assert first == outcome.canonical_json()
+        report = json.loads(first)
+        assert report["metric"] == "seconds"
+        assert len(report["cells"]) == len(outcome.cells)
+        for cell in report["cells"]:
+            assert cell["check_ok"] is True
+
+    def test_failing_check_is_reported_not_hidden(self, tmp_path):
+        class Wrong:
+            """A workload whose reference model lies."""
+            name = "crc32_wrong"
+            wclass = "dsp"
+
+            def image(self, seed=0):
+                return get("crc32").image(seed)
+
+            def check(self, result_word, seed=0):
+                return False
+
+        outcome = SweepRunner(cache=ResultCache(tmp_path)).sweep_matrix(
+            [Wrong()], small_space())
+        assert len(outcome.failed_checks()) == small_space().size
+        assert "CHECK-FAILED" in outcome.report_text()
+
+    def test_empty_matrix_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one workload"):
+            SweepRunner(cache=ResultCache(tmp_path)).sweep_matrix(
+                [], small_space())
