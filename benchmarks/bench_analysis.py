@@ -1,0 +1,66 @@
+"""Static-analysis throughput: how fast the verifier chews through the
+registry kernels.
+
+The analysis pipeline runs once per image per CI lint invocation and
+once per cell-row in ``sweep_matrix(analyze=True)``, so its cost has to
+stay negligible next to simulation.  The bench records instructions
+analyzed per pass into ``extra_info`` so regressions show up as a rate,
+not just host wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cfg import build_cfg, text_segment
+from repro.analysis.legality import legal_sites
+from repro.analysis.verify import analyze_image
+from repro.workloads import all_workloads
+
+from .conftest import print_table
+
+WORKLOADS = {wl.name: wl for wl in all_workloads()}
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {name: wl.image(0) for name, wl in WORKLOADS.items()}
+
+
+@pytest.mark.parametrize("name", ["xtea", "qsort_rec"])
+def test_bench_full_verification(benchmark, images, name):
+    image = images[name]
+    words = len(text_segment(image)[1]) // 4
+
+    report = benchmark(lambda: analyze_image(image, subject=name).report)
+    assert not report.errors
+    benchmark.extra_info["instructions"] = words
+    benchmark.extra_info["findings"] = len(report)
+
+
+def test_bench_cfg_recovery_alone(benchmark, images):
+    image = images["qsort_rec"]
+    cfg = benchmark(lambda: build_cfg(image))
+    benchmark.extra_info["blocks"] = len(cfg.blocks)
+    benchmark.extra_info["functions"] = len(cfg.function_entries)
+
+
+def test_bench_legality_scan(benchmark, images):
+    image = images["fir"]
+    benchmark(lambda: legal_sites(image))
+
+
+def test_analysis_cost_summary(images):
+    """Not a timing bench: one table of per-kernel analysis volume so
+    the report shows what the verifier covers."""
+    rows = []
+    for name, image in sorted(images.items()):
+        analysis = analyze_image(image, subject=name)
+        words = len(text_segment(image)[1]) // 4
+        rows.append((name, words, len(analysis.cfg.blocks),
+                     len(analysis.functions),
+                     len(analysis.report.warnings)))
+    print_table(
+        "static analysis coverage",
+        ["kernel", "instrs", "blocks", "functions", "warnings"], rows)
+    assert all(row[1] > 0 for row in rows)

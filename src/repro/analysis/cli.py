@@ -1,0 +1,127 @@
+"""``repro-analyze`` — run the machine-code verifier from the shell.
+
+Targets are workload registry names (or ``all``); each target's linked
+image goes through the full verifier, and optionally the MAC fusion
+legality scan.  Exit status is 0 iff every report is free of
+(non-allowlisted) errors, which is exactly what the CI lint job keys
+on.
+
+Examples::
+
+    repro-analyze xtea
+    repro-analyze all --json -o analysis-report.json
+    repro-analyze fir --sites --allow unknown-opcode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.legality import legal_sites
+from repro.analysis.verify import analyze_image
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static analysis over linked workload images.")
+    parser.add_argument(
+        "targets", nargs="*", default=["all"],
+        help="workload names from the registry, or 'all' (default)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="input seed for workload generation (default: registry "
+             "default)")
+    parser.add_argument(
+        "--allow", action="append", default=[], metavar="CODE",
+        help="diagnostic code to allowlist (repeatable); allowlisted "
+             "errors do not affect the exit status")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the combined report as canonical JSON")
+    parser.add_argument(
+        "--sites", action="store_true",
+        help="also scan for MAC fusion candidates and print each "
+             "site's legality verdict")
+    parser.add_argument(
+        "--errors-only", action="store_true",
+        help="suppress warnings in the text rendering")
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="also write the JSON report to FILE (the CI artifact)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_targets",
+        help="list available workload targets and exit")
+    return parser
+
+
+def _resolve_targets(names: list[str]):
+    # Imported lazily so `repro-analyze --help` stays fast.
+    from repro.workloads import all_workloads, get
+    if names == ["all"] or "all" in names:
+        return list(all_workloads())
+    workloads = []
+    for name in names:
+        try:
+            workloads.append(get(name))
+        except KeyError:
+            known = ", ".join(w.name for w in all_workloads())
+            raise SystemExit(
+                f"repro-analyze: unknown workload '{name}' "
+                f"(known: {known})")
+    return workloads
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_targets:
+        from repro.workloads import all_workloads
+        for wl in all_workloads():
+            print(f"{wl.name:12s} {wl.wclass}")
+        return 0
+
+    allow = frozenset(args.allow)
+    workloads = _resolve_targets(list(args.targets))
+    combined: list[dict] = []
+    ok = True
+    from repro.workloads import DEFAULT_SEED
+    for wl in workloads:
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        image = wl.image(seed)
+        analysis = analyze_image(image, subject=wl.name)
+        report = analysis.report
+        entry = report.to_dict()
+        entry["seed"] = seed
+        entry["ok"] = report.ok(allow)
+        if args.sites:
+            sites = legal_sites(image)
+            entry["sites"] = [
+                {"start": r.candidate.start, "ok": r.ok,
+                 "reasons": list(r.reasons)} for r in sites]
+        combined.append(entry)
+        ok = ok and report.ok(allow)
+
+        if not args.json:
+            shown = report
+            if args.errors_only:
+                shown = type(report)(report.errors, subject=report.subject)
+            print(shown.render_text())
+            if args.sites:
+                for result in sites:
+                    print(f"  {result.render()}")
+
+    payload = {"ok": ok, "allow": sorted(allow), "reports": combined}
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if args.json:
+        print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,616 @@
+"""Dataflow engine over recovered CFGs.
+
+A small worklist solver (:func:`solve`) parameterized by a
+:class:`DataflowProblem` — direction, meet, per-block transfer —
+instantiated here for the three analyses the verifier and the rewriter
+legality checker need:
+
+* :class:`Liveness` (backward, may): which locations may still be read;
+* :class:`DefinedRegisters` (forward, must): definitely-written
+  locations, for use-before-write findings;
+* :class:`ReachingDefinitions` (forward, may) and the derived
+  :func:`def_use_chains`.
+
+**Locations** are the 32 integer registers *of the current window*
+(``%g0``–``%i7`` = 0–31) plus ``%y`` (32) and the integer condition
+codes (33), packed into bitmask ints.  The model is window-aware:
+``save`` and ``restore`` are not plain defs but *renamings* — across a
+``save`` the new window's ``%i`` registers alias the old window's
+``%o`` registers while ``%l``/``%o`` become fresh, and ``restore``
+inverts the mapping.  Every transfer function routes through
+:func:`shift_across_save` / :func:`shift_across_restore` so liveness
+and reaching facts survive register-window rotation, which is exactly
+what the paper's custom-instruction fusion needs to reason about
+SPARC calling conventions.
+
+Delay slots arrive pre-linearized by :func:`block_effects`: the CTI's
+own effect is ordered before its delay slot (the branch reads the
+condition codes before the slot executes), a call contributes its
+``%o7`` write, then the slot, then a clobber summarizing the callee.
+An annulled conditional delay slot is a *may*-effect: its uses count,
+its kills do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    Instruction,
+    InstrKind,
+)
+from repro.cpu.isa import Cond, Op3, Op3Mem
+
+# -- location numbering -----------------------------------------------------
+
+REG_Y = 32
+REG_ICC = 33
+NUM_LOCATIONS = 34
+
+LOCATION_NAMES = (
+    [f"%g{i}" for i in range(8)] + [f"%o{i}" for i in range(8)]
+    + [f"%l{i}" for i in range(8)] + [f"%i{i}" for i in range(8)]
+    + ["%y", "%icc"]
+)
+
+
+_REG_ALIASES = {"%sp": 14, "%fp": 30}
+_REG_BANKS = {"g": 0, "o": 8, "l": 16, "i": 24}
+
+
+def reg_number(name: str) -> int:
+    """``%o3`` -> location 11 (aliases ``%sp``/``%fp``/``%y`` included)."""
+    name = name.lower()
+    if name in _REG_ALIASES:
+        return _REG_ALIASES[name]
+    if name == "%y":
+        return REG_Y
+    if len(name) == 3 and name[0] == "%" and name[1] in _REG_BANKS \
+            and name[2].isdigit() and int(name[2]) < 8:
+        return _REG_BANKS[name[1]] + int(name[2])
+    raise ValueError(f"not an integer register: {name!r}")
+
+
+def bit(loc: int) -> int:
+    return 1 << loc
+
+
+def mask_of(locs: Iterable[int]) -> int:
+    value = 0
+    for loc in locs:
+        value |= 1 << loc
+    return value
+
+
+def locations(mask: int) -> list[int]:
+    return [loc for loc in range(NUM_LOCATIONS) if mask >> loc & 1]
+
+
+def names(mask: int) -> list[str]:
+    return [LOCATION_NAMES[loc] for loc in locations(mask)]
+
+
+GLOBALS_MASK = mask_of(range(0, 8))
+OUTS_MASK = mask_of(range(8, 16))
+LOCALS_MASK = mask_of(range(16, 24))
+INS_MASK = mask_of(range(24, 32))
+#: Locations unaffected by window rotation.
+WINDOW_INVARIANT = GLOBALS_MASK | bit(REG_Y) | bit(REG_ICC)
+
+#: Conservative summary of a call's effect on the caller's window:
+#: the callee may read incoming arguments, the stack/frame pointers and
+#: the globals; it may clobber the globals, the out-args and ``%o7``
+#: and returns its value in ``%o0``/``%o1``.
+CALL_USES = (GLOBALS_MASK & ~bit(0)) | mask_of(range(8, 15))
+CALL_DEFS = (GLOBALS_MASK & ~bit(0)) | mask_of(range(8, 14)) | bit(15)
+
+#: What a returning function must leave intact: the caller's view after
+#: ``ret; restore`` — return value, preserved globals, stack linkage.
+EXIT_LIVE = GLOBALS_MASK | OUTS_MASK | INS_MASK
+
+#: Defined at a function's entry before its ``save``: globals, incoming
+#: arguments / stack pointer / return address in the %o registers.
+ENTRY_DEFINED = GLOBALS_MASK | OUTS_MASK
+
+
+def shift_across_save(mask: int) -> int:
+    """Rename a fact-mask across ``save`` (old window -> new window).
+
+    The new window's ``%i[k]`` is the old window's ``%o[k]``; locals
+    and outs of the new window carry no pre-save facts.
+    """
+    return (mask & WINDOW_INVARIANT) | ((mask & OUTS_MASK) << 16)
+
+
+def shift_across_restore(mask: int) -> int:
+    """Rename a fact-mask across ``restore`` (callee -> caller window)."""
+    return (mask & WINDOW_INVARIANT) | ((mask & INS_MASK) >> 16)
+
+
+def unshift_save(mask: int) -> int:
+    """Inverse renaming: new-window facts back into the old window
+    (used by backward analyses walking up through ``save``)."""
+    return (mask & WINDOW_INVARIANT) | ((mask & INS_MASK) >> 16)
+
+
+def unshift_restore(mask: int) -> int:
+    """Inverse renaming for ``restore`` in backward analyses."""
+    return (mask & WINDOW_INVARIANT) | ((mask & OUTS_MASK) << 16)
+
+
+# -- per-instruction effects ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Uses/defs of one executed step, in current-window terms.
+
+    ``window`` is +1 for ``save``, -1 for ``restore`` (the renaming is
+    applied around the plain uses/defs).  ``may`` marks effects that
+    execute only on some dynamic condition (annulled conditional delay
+    slots): their uses count for liveness, their defs never kill.
+    """
+
+    pc: int
+    uses: int
+    defs: int
+    window: int = 0
+    may: bool = False
+    instr: Instruction | None = None
+
+
+def _reg_uses(inst) -> int:
+    uses = bit(inst.rs1)
+    if not inst.imm:
+        uses |= bit(inst.rs2)
+    return uses
+
+
+def instruction_effect(instr: Instruction) -> Effect:
+    """Uses/defs of one instruction (CALL: its own ``%o7`` write only —
+    the callee summary is a separate effect)."""
+    inst = instr.inst
+    kind = instr.kind
+    uses = 0
+    defs = 0
+    window = 0
+    if kind == InstrKind.ALU:
+        op3 = Op3(inst.op3)
+        uses = _reg_uses(inst)
+        if inst.rd != 0:
+            defs |= bit(inst.rd)
+        if op3 in (Op3.ADDX, Op3.ADDXCC, Op3.SUBX, Op3.SUBXCC):
+            uses |= bit(REG_ICC)
+        if op3 in (Op3.UDIV, Op3.UDIVCC, Op3.SDIV, Op3.SDIVCC):
+            uses |= bit(REG_Y)
+        if op3 in (Op3.UMUL, Op3.UMULCC, Op3.SMUL, Op3.SMULCC):
+            defs |= bit(REG_Y)
+        if op3 == Op3.MULSCC:
+            uses |= bit(REG_Y) | bit(REG_ICC)
+            defs |= bit(REG_Y) | bit(REG_ICC)
+        if op3.name.endswith("CC"):
+            defs |= bit(REG_ICC)
+    elif kind == InstrKind.SETHI:
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+    elif kind == InstrKind.BRANCH:
+        if Cond(inst.cond) not in (Cond.A, Cond.N):
+            uses = bit(REG_ICC)
+    elif kind == InstrKind.CALL:
+        defs = bit(15)  # %o7
+    elif kind == InstrKind.JMPL:
+        uses = _reg_uses(inst)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+    elif kind == InstrKind.RETT:
+        uses = _reg_uses(inst)
+    elif kind == InstrKind.TICC:
+        uses = _reg_uses(inst)
+        if Cond(inst.cond) not in (Cond.A, Cond.N):
+            uses |= bit(REG_ICC)
+    elif kind == InstrKind.LOAD:
+        op3 = Op3Mem(inst.op3)
+        uses = _reg_uses(inst)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+        if op3 in (Op3Mem.LDD, Op3Mem.LDDA):
+            defs |= bit(inst.rd | 1)
+    elif kind == InstrKind.STORE:
+        op3 = Op3Mem(inst.op3)
+        uses = _reg_uses(inst) | bit(inst.rd)
+        if op3 in (Op3Mem.STD, Op3Mem.STDA):
+            uses |= bit(inst.rd | 1)
+    elif kind == InstrKind.ATOMIC:
+        uses = _reg_uses(inst) | bit(inst.rd)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+    elif kind == InstrKind.READ_STATE:
+        op3 = Op3(inst.op3)
+        if op3 == Op3.RDASR and inst.rs1 == 0:
+            uses = bit(REG_Y)
+        elif op3 == Op3.RDPSR:
+            uses = bit(REG_ICC)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+    elif kind == InstrKind.WRITE_STATE:
+        op3 = Op3(inst.op3)
+        uses = _reg_uses(inst)
+        if op3 == Op3.WRASR and inst.rd == 0:
+            defs = bit(REG_Y)
+        elif op3 == Op3.WRPSR:
+            defs = bit(REG_ICC)
+    elif kind == InstrKind.SAVE:
+        uses = _reg_uses(inst)  # read in the *old* window
+        if inst.rd != 0:
+            defs = bit(inst.rd)  # written in the *new* window
+        window = 1
+    elif kind == InstrKind.RESTORE:
+        uses = _reg_uses(inst)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+        window = -1
+    elif kind == InstrKind.FLUSH:
+        uses = _reg_uses(inst)
+    elif kind == InstrKind.CUSTOM:
+        # A custom accelerator may fold an accumulator: it reads both
+        # sources *and* the destination (the MAC recipe does).
+        uses = bit(inst.rs1) | bit(inst.rs2) | bit(inst.rd)
+        if inst.rd != 0:
+            defs = bit(inst.rd)
+    # UNKNOWN / UNIMP: no modeled effect (diagnosed separately).
+    return Effect(pc=instr.pc, uses=uses, defs=defs, window=window,
+                  instr=instr)
+
+
+def block_effects(block: BasicBlock) -> list[Effect]:
+    """The block's executed steps in dynamic order.
+
+    Reorders the delay slot where needed, drops annulled-never slots,
+    marks annulled-conditional slots as *may*, and expands calls into
+    ``%o7``-write → delay slot → callee-summary clobber.
+    """
+    instrs = [i for i in block.instructions if i.pc not in block.annulled]
+    effects: list[Effect] = []
+    call_pc: int | None = None
+    for instr in instrs:
+        effect = instruction_effect(instr)
+        if instr.pc == block.conditional_slot:
+            effect = Effect(pc=effect.pc, uses=effect.uses,
+                            defs=effect.defs, window=effect.window,
+                            may=True, instr=instr)
+        effects.append(effect)
+        if instr.kind == InstrKind.CALL or (
+                instr.kind == InstrKind.JMPL and instr.inst.rd == 15):
+            call_pc = instr.pc
+    if call_pc is not None and block.terminator == "call":
+        effects.append(Effect(pc=call_pc, uses=CALL_USES, defs=CALL_DEFS))
+    return effects
+
+
+# ---------------------------------------------------------------------------
+# The worklist solver
+# ---------------------------------------------------------------------------
+
+
+class DataflowProblem(Protocol):
+    """What :func:`solve` needs: direction, lattice ops, transfer."""
+
+    direction: str  # 'forward' | 'backward'
+
+    def boundary(self, block: BasicBlock) -> object:
+        """State at the graph boundary (entry state for forward
+        problems, exit state for backward ones)."""
+        ...
+
+    def top(self) -> object:
+        """Initial optimistic state for non-boundary blocks."""
+        ...
+
+    def meet(self, states: list[object]) -> object:
+        ...
+
+    def transfer(self, block: BasicBlock, state: object) -> object:
+        ...
+
+
+def solve(blocks: list[BasicBlock], problem: DataflowProblem,
+          entry: int | None = None) -> dict[int, tuple[object, object]]:
+    """Iterate *problem* to a fixpoint over *blocks*.
+
+    Returns ``block start -> (state_in, state_out)`` where ``state_in``
+    is at the block's entry and ``state_out`` at its exit, regardless
+    of direction.  *entry* names the function's entry block for forward
+    problems (defaults to the first block).
+    """
+    if not blocks:
+        return {}
+    index = {b.start: b for b in blocks}
+    forward = problem.direction == "forward"
+    if entry is None or entry not in index:
+        entry = blocks[0].start
+    preds = {b.start: [p for p in b.predecessors if p in index]
+             for b in blocks}
+    succs = {b.start: [s for s in b.successors if s in index]
+             for b in blocks}
+    sources = preds if forward else succs
+    inputs: dict[int, object] = {}
+    outputs: dict[int, object] = {}
+    for b in blocks:
+        inputs[b.start] = problem.top()
+        outputs[b.start] = problem.top()
+    worklist = [b.start for b in (blocks if forward else reversed(blocks))]
+    pending = set(worklist)
+    while worklist:
+        start = worklist.pop(0)
+        pending.discard(start)
+        block = index[start]
+        states = [outputs[src] for src in sources[start]]
+        # Boundary blocks (the entry for forward problems, exits for
+        # backward ones) meet the boundary value in as well — a loop
+        # edge back to the entry must not wash it out.
+        if (forward and start == entry) or \
+                (not forward and not succs[start]):
+            states.append(problem.boundary(block))
+        incoming = problem.meet(states) if states else problem.top()
+        inputs[start] = incoming
+        new_out = problem.transfer(block, incoming)
+        if new_out != outputs[start]:
+            outputs[start] = new_out
+            for nxt in (succs[start] if forward else preds[start]):
+                if nxt not in pending:
+                    pending.add(nxt)
+                    worklist.append(nxt)
+    if forward:
+        return {s: (inputs[s], outputs[s]) for s in inputs}
+    # Backward: inputs hold the exit-side state.
+    return {s: (outputs[s], inputs[s]) for s in inputs}
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+class Liveness:
+    """Backward may-analysis: which locations may be read later."""
+
+    direction = "backward"
+
+    def __init__(self, exit_live: int = EXIT_LIVE):
+        self.exit_live = exit_live
+
+    def boundary(self, block: BasicBlock) -> int:
+        return self.exit_live
+
+    def top(self) -> int:
+        return 0
+
+    def meet(self, states: list[int]) -> int:
+        value = 0
+        for state in states:
+            value |= state
+        return value
+
+    def transfer(self, block: BasicBlock, live_out: int) -> int:
+        live = live_out
+        for effect in reversed(block_effects(block)):
+            live = self.step(effect, live)
+        return live
+
+    @staticmethod
+    def step(effect: Effect, live_after: int) -> int:
+        """Live-before of one effect given live-after."""
+        live = live_after
+        if not effect.may:
+            live &= ~effect.defs
+        if effect.window == 1:
+            live = unshift_save(live)
+        elif effect.window == -1:
+            live = unshift_restore(live)
+        live |= effect.uses
+        live &= ~bit(0)  # %g0 is never live
+        return live
+
+
+class DefinedRegisters:
+    """Forward must-analysis: locations definitely written on every
+    path from the function entry (use-before-write findings)."""
+
+    direction = "forward"
+    ALL = (1 << NUM_LOCATIONS) - 1
+
+    def __init__(self, entry_defined: int = ENTRY_DEFINED):
+        self.entry_defined = entry_defined | bit(0)
+
+    def boundary(self, block: BasicBlock) -> int:
+        return self.entry_defined
+
+    def top(self) -> int:
+        return self.ALL
+
+    def meet(self, states: list[int]) -> int:
+        value = self.ALL
+        for state in states:
+            value &= state
+        return value
+
+    def transfer(self, block: BasicBlock, defined_in: int) -> int:
+        defined = defined_in
+        for effect in block_effects(block):
+            defined = self.step(effect, defined)
+        return defined
+
+    @staticmethod
+    def step(effect: Effect, defined: int) -> int:
+        if effect.window == 1:
+            defined = shift_across_save(defined) | bit(0)
+        elif effect.window == -1:
+            defined = shift_across_restore(defined) | bit(0)
+        if not effect.may:
+            defined |= effect.defs
+        return defined
+
+
+class ReachingDefinitions:
+    """Forward may-analysis tracking *which* instruction last wrote
+    each location.  States map location -> frozenset of def PCs; the
+    pseudo-PC ``ENTRY`` marks values provided by the environment."""
+
+    direction = "forward"
+    ENTRY = -1
+
+    def __init__(self, entry_defined: int = ENTRY_DEFINED):
+        self.entry_defined = entry_defined | bit(0)
+
+    def boundary(self, block: BasicBlock) -> dict:
+        return {loc: frozenset({self.ENTRY})
+                for loc in locations(self.entry_defined)}
+
+    def top(self) -> dict:
+        return {}
+
+    def meet(self, states: list[dict]) -> dict:
+        merged: dict[int, frozenset] = {}
+        for state in states:
+            for loc, defs in state.items():
+                merged[loc] = merged.get(loc, frozenset()) | defs
+        return merged
+
+    def transfer(self, block: BasicBlock, state_in: dict) -> dict:
+        state = dict(state_in)
+        for effect in block_effects(block):
+            state = self.step(effect, state)
+        return state
+
+    @staticmethod
+    def step(effect: Effect, state: dict) -> dict:
+        if effect.window != 0:
+            renamed: dict[int, frozenset] = {}
+            for loc, defs in state.items():
+                mask = bit(loc)
+                shifted = (shift_across_save(mask) if effect.window == 1
+                           else shift_across_restore(mask))
+                if shifted:
+                    for new_loc in locations(shifted):
+                        renamed[new_loc] = renamed.get(
+                            new_loc, frozenset()) | defs
+            state = renamed
+        else:
+            state = dict(state)
+        for loc in locations(effect.defs):
+            if effect.may:
+                state[loc] = state.get(loc, frozenset()) | {effect.pc}
+            else:
+                state[loc] = frozenset({effect.pc})
+        return state
+
+
+def def_use_chains(blocks: list[BasicBlock],
+                   reaching: dict[int, tuple[dict, dict]]
+                   ) -> dict[int, set[int]]:
+    """``def PC -> set of use PCs`` derived from reaching definitions.
+
+    Walks every block forward replaying the transfer so each use sees
+    exactly the defs that reach it.
+    """
+    chains: dict[int, set[int]] = {}
+    for block in blocks:
+        state = reaching[block.start][0]
+        for effect in block_effects(block):
+            for loc in locations(effect.uses):
+                for def_pc in state.get(loc, frozenset()):
+                    if def_pc >= 0:
+                        chains.setdefault(def_pc, set()).add(effect.pc)
+            state = ReachingDefinitions.step(effect, state)
+    return chains
+
+
+def live_after_map(blocks: list[BasicBlock],
+                   liveness: dict[int, tuple[int, int]]
+                   ) -> dict[int, int]:
+    """Per-effect liveness: ``PC -> live-after mask``.
+
+    For a delay slot the map answers for the *slot's own* effect; for a
+    call PC it answers for the point after the callee-summary clobber.
+    """
+    result: dict[int, int] = {}
+    for block in blocks:
+        live = liveness[block.start][1]  # live-out of the block
+        for effect in reversed(block_effects(block)):
+            # Later effects at the same PC (call clobber) win: iterate
+            # backward and only record the first (latest) one.
+            if effect.pc not in result:
+                result[effect.pc] = live
+            live = Liveness.step(effect, live)
+    return result
+
+
+def analyze_function(cfg: ControlFlowGraph, entry: int) -> "FunctionDataflow":
+    """Run all three analyses over one function."""
+    blocks = cfg.function_blocks(entry)
+    liveness = solve(blocks, Liveness(), entry=entry)
+    defined = solve(blocks, DefinedRegisters(), entry=entry)
+    reaching = solve(blocks, ReachingDefinitions(), entry=entry)
+    return FunctionDataflow(entry=entry, blocks=blocks, liveness=liveness,
+                            defined=defined, reaching=reaching,
+                            chains=def_use_chains(blocks, reaching),
+                            live_after=live_after_map(blocks, liveness))
+
+
+@dataclass
+class FunctionDataflow:
+    """Solved dataflow facts for one function."""
+
+    entry: int
+    blocks: list[BasicBlock]
+    liveness: dict[int, tuple[int, int]]
+    defined: dict[int, tuple[int, int]]
+    reaching: dict[int, tuple[dict, dict]]
+    chains: dict[int, set[int]]
+    live_after: dict[int, int]
+
+    def block_of(self, pc: int) -> BasicBlock | None:
+        for block in self.blocks:
+            if block.start <= pc < block.end:
+                return block
+        return None
+
+    def uses_of(self, def_pc: int) -> set[int]:
+        return self.chains.get(def_pc, set())
+
+
+__all__ = [
+    "CALL_DEFS",
+    "CALL_USES",
+    "DefinedRegisters",
+    "Effect",
+    "ENTRY_DEFINED",
+    "EXIT_LIVE",
+    "FunctionDataflow",
+    "GLOBALS_MASK",
+    "INS_MASK",
+    "LOCALS_MASK",
+    "LOCATION_NAMES",
+    "Liveness",
+    "NUM_LOCATIONS",
+    "OUTS_MASK",
+    "REG_ICC",
+    "REG_Y",
+    "ReachingDefinitions",
+    "analyze_function",
+    "bit",
+    "block_effects",
+    "def_use_chains",
+    "instruction_effect",
+    "live_after_map",
+    "locations",
+    "mask_of",
+    "names",
+    "reg_number",
+    "shift_across_save",
+    "shift_across_restore",
+    "solve",
+]

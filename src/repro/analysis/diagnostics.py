@@ -1,0 +1,179 @@
+"""Typed diagnostics shared by every static-analysis pass.
+
+The binary verifier (:mod:`repro.analysis.verify`), the rewriter
+legality checker (:mod:`repro.analysis.legality`) and the mini-C lint
+(:mod:`repro.toolchain.cc.lint`) all report through one model so that
+CI, the ``repro-analyze`` CLI and the obs counters consume a single
+shape: a severity, a stable machine-readable code, an anchor (a PC for
+machine code, a source line for C), the nearest symbol, and a message.
+
+A :class:`DiagnosticReport` is an ordered collection with the query
+helpers the consumers need — error/warning partition, allowlisting by
+code, deterministic text and JSON renderings, and an export into
+``analysis.*`` obs counters via
+:func:`repro.obs.collect.collect_analysis`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(Enum):
+    """How bad a finding is.  ``ERROR`` findings gate CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one pass.
+
+    ``code`` is the stable identifier passes key their findings on
+    (``cti-in-delay-slot``, ``uninit-read``, ...); allowlists and obs
+    labels use it, never the message text.  ``pc`` anchors machine-code
+    findings; ``line`` anchors source-level findings; either may be
+    ``None``.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    pc: int | None = None
+    line: int | None = None
+    symbol: str | None = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def anchor(self) -> str:
+        """Human-readable location prefix."""
+        if self.pc is not None:
+            where = f"0x{self.pc:08x}"
+            if self.symbol:
+                where += f" <{self.symbol}>"
+            return where
+        if self.line is not None:
+            return f"line {self.line}"
+        return "<program>"
+
+    def render(self) -> str:
+        return (f"{self.severity.value}[{self.code}] {self.anchor()}: "
+                f"{self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "message": self.message,
+            "pc": self.pc,
+            "line": self.line,
+            "symbol": self.symbol,
+        }
+
+
+def _sort_key(diag: Diagnostic) -> tuple:
+    return (diag.pc if diag.pc is not None else -1,
+            diag.line if diag.line is not None else -1,
+            diag.severity.value, diag.code, diag.message)
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered, queryable collection of diagnostics."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: What was analyzed — a workload name, file name, or symbol.
+    subject: str = "<image>"
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def emit(self, severity: Severity, code: str, message: str,
+             pc: int | None = None, line: int | None = None,
+             symbol: str | None = None) -> Diagnostic:
+        return self.add(Diagnostic(severity, code, message,
+                                   pc=pc, line=line, symbol=symbol))
+
+    def error(self, code: str, message: str, **kw) -> Diagnostic:
+        return self.emit(Severity.ERROR, code, message, **kw)
+
+    def warning(self, code: str, message: str, **kw) -> Diagnostic:
+        return self.emit(Severity.WARNING, code, message, **kw)
+
+    def extend(self, other: "DiagnosticReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> dict[str, int]:
+        """Finding counts per code, sorted by code."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def allowlisted(self, allow: set[str] | frozenset[str]
+                    ) -> "DiagnosticReport":
+        """A copy with every finding whose code is in *allow* dropped."""
+        return DiagnosticReport(
+            [d for d in self.diagnostics if d.code not in allow],
+            subject=self.subject)
+
+    def ok(self, allow: set[str] | frozenset[str] = frozenset()) -> bool:
+        """True when no (non-allowlisted) errors remain."""
+        return not self.allowlisted(set(allow)).errors
+
+    # -- rendering ---------------------------------------------------------
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=_sort_key)
+
+    def render_text(self) -> str:
+        lines = [f"analysis report: {self.subject} — "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        lines += [f"  {diag.render()}" for diag in self.sorted()]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "codes": self.codes(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialization — the CI artifact format."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport"]

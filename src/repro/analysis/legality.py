@@ -1,0 +1,231 @@
+"""Legality checking for custom-instruction fusion sites.
+
+The rewriter (:mod:`repro.core.rewriter`) finds candidate regions with
+a textual peephole; this module decides whether collapsing a region
+into one ``custom`` op preserves the program, using the dataflow facts
+from :mod:`repro.analysis.dataflow`:
+
+* the region must be contiguous, inside one basic block, and must not
+  include a CTI, its delay slot, or any memory/MMIO/state-changing
+  instruction — so nothing is reordered around a side effect;
+* every value the region reads must either be an *input* of the fused
+  instruction (read before any region write, so the fusion sees the
+  same live-in value) or an internal temporary produced earlier in the
+  region;
+* every register the region writes must be the fused *output* or a
+  *killed* temporary, and every killed temporary must be dead after
+  the region (nothing downstream observes the value the fusion no
+  longer produces) — condition codes included.
+
+:func:`check_fusion` returns a :class:`LegalityResult` carrying every
+violated condition, so a rejected site explains itself in tests and in
+``repro-analyze`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import BasicBlock, InstrKind, build_cfg
+from repro.analysis.dataflow import (
+    LOCATION_NAMES,
+    REG_ICC,
+    REG_Y,
+    FunctionDataflow,
+    analyze_function,
+    bit,
+    block_effects,
+    locations,
+    mask_of,
+)
+from repro.cpu.isa import Op3
+from repro.toolchain.objfile import Image
+
+#: Instruction kinds a fusable region may contain: pure register ops.
+PURE_KINDS = frozenset({InstrKind.ALU, InstrKind.SETHI})
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """A contiguous region proposed for fusion into one custom op.
+
+    ``inputs``/``output``/``killed`` are dataflow locations (register
+    numbers, or :data:`REG_Y` / :data:`REG_ICC`): what the fused
+    instruction will read at the region's entry, the one register it
+    will write, and the temporaries it will stop producing.
+    """
+
+    pcs: tuple[int, ...]
+    inputs: tuple[int, ...]
+    output: int
+    killed: tuple[int, ...] = ()
+
+    @property
+    def start(self) -> int:
+        return self.pcs[0]
+
+    @property
+    def last(self) -> int:
+        return self.pcs[-1]
+
+    def describe(self) -> str:
+        ins = ", ".join(LOCATION_NAMES[loc] for loc in self.inputs)
+        return (f"fuse [0x{self.start:08x}..0x{self.last:08x}] "
+                f"({ins}) -> {LOCATION_NAMES[self.output]}")
+
+
+@dataclass
+class LegalityResult:
+    """Verdict plus every violated condition."""
+
+    candidate: FusionCandidate
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.reasons
+
+    def reject(self, reason: str) -> None:
+        self.reasons.append(reason)
+
+    def render(self) -> str:
+        verdict = "LEGAL" if self.ok else "ILLEGAL"
+        text = f"{verdict}: {self.candidate.describe()}"
+        for reason in self.reasons:
+            text += f"\n  - {reason}"
+        return text
+
+
+def check_fusion(flow: FunctionDataflow,
+                 candidate: FusionCandidate) -> LegalityResult:
+    """Decide whether *candidate* may be fused, given solved dataflow."""
+    result = LegalityResult(candidate)
+    pcs = candidate.pcs
+    if not pcs:
+        result.reject("empty region")
+        return result
+    if list(pcs) != list(range(pcs[0], pcs[-1] + 4, 4)):
+        result.reject("region is not contiguous")
+        return result
+
+    block = flow.block_of(pcs[0])
+    if block is None or flow.block_of(pcs[-1]) is not block:
+        result.reject("region spans a basic-block boundary")
+        return result
+
+    region = [i for i in block.instructions if i.pc in set(pcs)]
+    if len(region) != len(pcs):
+        result.reject("region PCs do not map to instructions")
+        return result
+    for instr in region:
+        if instr.pc in block.annulled or instr.pc == block.conditional_slot:
+            result.reject(
+                f"0x{instr.pc:08x} is an (annullable) delay slot")
+        if instr.is_delayed_cti or instr.kind in (InstrKind.TICC,
+                                                  InstrKind.UNIMP):
+            result.reject(
+                f"0x{instr.pc:08x} is a control-transfer instruction")
+        elif instr.kind not in PURE_KINDS:
+            result.reject(
+                f"0x{instr.pc:08x} ({instr.kind.value}) has side "
+                f"effects that cannot be reordered")
+    if result.reasons:
+        return result
+
+    inputs_mask = mask_of(candidate.inputs)
+    killed_mask = mask_of(candidate.killed)
+    allowed_defs = killed_mask | bit(candidate.output)
+    effects = [e for e in block_effects(block) if e.pc in set(pcs)]
+
+    defined_in_region = 0
+    region_defs_icc = False
+    for effect in effects:
+        for loc in locations(effect.uses):
+            if defined_in_region & bit(loc):
+                continue  # internal temporary produced above
+            if not inputs_mask & bit(loc):
+                result.reject(
+                    f"0x{effect.pc:08x} reads {LOCATION_NAMES[loc]}, "
+                    f"which is neither an input nor produced in the "
+                    f"region")
+        stray = effect.defs & ~allowed_defs
+        for loc in locations(stray):
+            result.reject(
+                f"0x{effect.pc:08x} writes {LOCATION_NAMES[loc]}, "
+                f"which is neither the output nor a killed temporary")
+        if effect.defs & bit(REG_ICC):
+            region_defs_icc = True
+        defined_in_region |= effect.defs
+
+    live_after = flow.live_after.get(candidate.last)
+    if live_after is None:
+        result.reject("no liveness fact at the region's last PC")
+        return result
+    escaped = killed_mask & live_after & ~bit(candidate.output)
+    for loc in locations(escaped):
+        result.reject(
+            f"killed temporary {LOCATION_NAMES[loc]} is live after "
+            f"the region")
+    if region_defs_icc and candidate.output != REG_ICC and \
+            not killed_mask & bit(REG_ICC) and live_after & bit(REG_ICC):
+        result.reject(
+            "region sets the condition codes and %icc is live after it")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Candidate discovery (binary-side mirror of the rewriter's peepholes)
+# ---------------------------------------------------------------------------
+
+
+def mac_candidates(blocks: list[BasicBlock]) -> list[FusionCandidate]:
+    """``smul a, b, t; add acc, t, acc`` pairs — the MAC recipe's shape
+    located in the *binary*, so textual matches can be cross-checked."""
+    found: list[FusionCandidate] = []
+    for block in blocks:
+        instrs = block.instructions
+        for first, second in zip(instrs, instrs[1:]):
+            if first.kind != InstrKind.ALU or second.kind != InstrKind.ALU:
+                continue
+            if Op3(first.inst.op3) != Op3.SMUL or first.inst.imm:
+                continue
+            if Op3(second.inst.op3) != Op3.ADD or second.inst.imm:
+                continue
+            temp = first.inst.rd
+            acc = second.inst.rd
+            if temp == 0 or temp == acc:
+                continue
+            if second.inst.rs1 != acc or second.inst.rs2 != temp:
+                continue
+            # smul also writes %y (the high half); the fused MAC does
+            # not, so %y is a killed side effect that must be dead-out.
+            found.append(FusionCandidate(
+                pcs=(first.pc, second.pc),
+                inputs=(first.inst.rs1, first.inst.rs2, acc),
+                output=acc, killed=(temp, REG_Y)))
+    return found
+
+
+def legal_sites(image: Image,
+                finder=mac_candidates) -> list[LegalityResult]:
+    """Find *finder*'s candidates in every function of *image* and
+    check each one.  Returns one :class:`LegalityResult` per candidate,
+    in address order."""
+    cfg = build_cfg(image)
+    results: list[LegalityResult] = []
+    for entry in cfg.function_entries:
+        flow = analyze_function(cfg, entry)
+        for candidate in finder(flow.blocks):
+            results.append(check_fusion(flow, candidate))
+    results.sort(key=lambda r: r.candidate.start)
+    return results
+
+
+__all__ = [
+    "FusionCandidate",
+    "LegalityResult",
+    "PURE_KINDS",
+    "check_fusion",
+    "legal_sites",
+    "mac_candidates",
+]

@@ -66,6 +66,79 @@ class RewriteRecipe:
         new_text, count = pattern.subn(self.asm_replacement, asm_text)
         return new_text, count
 
+    def legal_sites(self, image) -> list:
+        """Binary-side legality verdicts for this recipe's candidates.
+
+        Scans *image* (the linked, unrewritten program) for the
+        instruction shape this recipe's peephole targets and checks
+        each site against the dataflow facts — see
+        :mod:`repro.analysis.legality`.  Returns one
+        :class:`~repro.analysis.legality.LegalityResult` per site, in
+        address order; empty for pure C-level recipes.
+        """
+        if self.asm_pattern is None:
+            return []
+        from repro.analysis.legality import legal_sites, mac_candidates
+
+        # The MAC shape is the only asm peephole today; recipes adding
+        # new patterns must register a matching binary-side finder.
+        return legal_sites(image, finder=mac_candidates)
+
+    def verified_rewrite_asm(self, asm_text: str, image
+                             ) -> tuple[str, int, list]:
+        """Apply the peephole only at sites the legality checker
+        accepts.
+
+        *image* must be the linked image of the **unrewritten**
+        *asm_text* program: textual matches pair with binary candidates
+        in order, and each pairing is cross-checked by register operand
+        before a substitution is allowed — a mismatch (or an illegal
+        verdict) skips the site rather than guessing.
+
+        Returns ``(new_text, substitutions, skipped)`` where *skipped*
+        lists the :class:`LegalityResult` of every rejected site.
+        """
+        if self.asm_pattern is None:
+            return asm_text, 0, []
+        from repro.analysis.dataflow import reg_number
+
+        verdicts = self.legal_sites(image)
+        pattern = re.compile(self.asm_pattern, re.MULTILINE)
+        matches = list(pattern.finditer(asm_text))
+        skipped: list = []
+        legal_spans: set[int] = set()
+        for index, match in enumerate(matches):
+            if index >= len(verdicts):
+                break  # textual match with no binary candidate: skip
+            verdict = verdicts[index]
+            try:
+                # MAC groups: (indent, a, b, t, acc).
+                operands = (reg_number(match.group(2)),
+                            reg_number(match.group(3)),
+                            reg_number(match.group(5)))
+            except (ValueError, IndexError):
+                operands = None
+            candidate = verdict.candidate
+            aligned = operands == (candidate.inputs[0],
+                                   candidate.inputs[1],
+                                   candidate.output)
+            if verdict.ok and aligned:
+                legal_spans.add(match.start())
+            else:
+                skipped.append(verdict)
+
+        count = 0
+
+        def substitute(match: re.Match) -> str:
+            nonlocal count
+            if match.start() not in legal_spans:
+                return match.group(0)
+            count += 1
+            return match.expand(self.asm_replacement)
+
+        new_text = pattern.sub(substitute, asm_text)
+        return new_text, count, skipped
+
     # -- C rewriting --------------------------------------------------------------
 
     def rewrite_c(self, c_source: str) -> tuple[str, int]:

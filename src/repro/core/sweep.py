@@ -31,7 +31,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -420,6 +420,9 @@ class MatrixOutcome:
 
     cells: list[MatrixCell]
     stats: SweepStats
+    #: workload name -> static-analysis DiagnosticReport, populated when
+    #: the matrix ran with ``analyze=True`` (else empty).
+    analysis: dict = field(default_factory=dict)
 
     def failed_checks(self) -> list[MatrixCell]:
         return [cell for cell in self.cells if not cell.check_ok]
@@ -463,8 +466,9 @@ class MatrixOutcome:
 
     def report(self, metric: str = "seconds") -> dict:
         """Everything deterministic about the matrix: every cell's
-        measured fields plus the winner tables."""
-        return {
+        measured fields plus the winner tables (and, when the matrix
+        ran with ``analyze=True``, per-workload verifier summaries)."""
+        report = {
             "metric": metric,
             "cells": [{
                 "workload": cell.workload,
@@ -477,6 +481,13 @@ class MatrixOutcome:
                 for name, point in self.winner_by_workload(metric).items()},
             "winner_by_class": self.winner_by_class(metric),
         }
+        if self.analysis:
+            report["analysis"] = {
+                name: {"errors": len(diag.errors),
+                       "warnings": len(diag.warnings),
+                       "codes": diag.codes()}
+                for name, diag in sorted(self.analysis.items())}
+        return report
 
     def canonical_json(self, metric: str = "seconds") -> str:
         """Byte-stable serialization of :meth:`report` — equality of
@@ -623,7 +634,8 @@ class SweepRunner:
     def sweep_matrix(self, workloads: Sequence, space,
                      max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                      seed: int = 0,
-                     fast_forward: int = 0) -> MatrixOutcome:
+                     fast_forward: int = 0,
+                     analyze: bool = False) -> MatrixOutcome:
         """Evaluate every (workload, config) pair of the matrix.
 
         *workloads* are :class:`repro.workloads.Workload` objects (any
@@ -635,15 +647,29 @@ class SweepRunner:
         exactly like a plain sweep — a re-run of the same matrix is all
         cache hits and a byte-identical
         :meth:`MatrixOutcome.canonical_json`.
+
+        ``analyze=True`` additionally runs the machine-code verifier
+        once per workload image, stores the reports on
+        :attr:`MatrixOutcome.analysis`, and publishes ``analysis.*``
+        series into the runner's obs registry.
         """
         configs = list(space)
         workloads = list(workloads)
         if not workloads:
             raise ValueError("sweep_matrix needs at least one workload")
         cells: list[MatrixCell] = []
+        analysis: dict = {}
         totals = SweepStats()
         started = time.perf_counter()
         for workload in workloads:
+            if analyze:
+                from repro.analysis.verify import analyze_image
+                from repro.obs.collect import collect_analysis
+
+                diag = analyze_image(workload.image(seed),
+                                     subject=workload.name).report
+                analysis[workload.name] = diag
+                collect_analysis(diag, self.obs)
             outcome = self.sweep(configs, workload.image(seed),
                                  max_instructions=max_instructions,
                                  fast_forward=fast_forward)
@@ -660,7 +686,7 @@ class SweepRunner:
             totals.checkpoints_built += outcome.stats.checkpoints_built
             totals.checkpoint_hits += outcome.stats.checkpoint_hits
         totals.wall_seconds = time.perf_counter() - started
-        return MatrixOutcome(cells=cells, stats=totals)
+        return MatrixOutcome(cells=cells, stats=totals, analysis=analysis)
 
     def _warm_checkpoint(self, image: Image, digest: str,
                          config: ArchitectureConfig, fast_forward: int,

@@ -17,6 +17,7 @@ counter, the streamed instrumented traces, the Trace Analyzer):
 
 from repro.obs.collect import (
     collect_ahb,
+    collect_analysis,
     collect_apb,
     collect_cache,
     collect_fleet,
@@ -46,6 +47,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "collect_ahb",
+    "collect_analysis",
     "collect_apb",
     "collect_cache",
     "collect_fleet",

@@ -257,6 +257,22 @@ def simulator_snapshot(sim) -> dict:
     return registry.snapshot()
 
 
+def collect_analysis(report, registry: MetricsRegistry) -> None:
+    """Publish a static-analysis
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` as
+    ``analysis.*`` series: total errors/warnings plus one
+    ``analysis.findings{code=...}`` counter per diagnostic code, all
+    labeled with the report's subject (the workload name)."""
+    subject = report.subject
+    registry.counter("analysis.errors",
+                     subject=subject).inc(len(report.errors))
+    registry.counter("analysis.warnings",
+                     subject=subject).inc(len(report.warnings))
+    for code, count in report.codes().items():
+        registry.counter("analysis.findings", subject=subject,
+                         code=code).inc(count)
+
+
 def point_snapshot(after: dict, before: dict) -> dict:
     """Program-window snapshot: delta of two :func:`simulator_snapshot`
     dicts plus derived pipeline occupancy gauges.

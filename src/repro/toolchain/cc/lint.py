@@ -1,0 +1,248 @@
+"""Source-level lint for the mini-C front end.
+
+Reuses the typed diagnostic model of :mod:`repro.analysis.diagnostics`
+(one currency for machine-code and source findings) and runs on the
+parsed AST — no sema required, so even code that fails later stages can
+be linted.  Two analyses, both scope-aware:
+
+* ``use-before-init`` — a local variable read on some path before any
+  assignment.  Definite-assignment rules mirror the binary verifier's
+  ``DefinedRegisters`` analysis: branches intersect, loops may run
+  zero times (``do``/``while`` runs at least once), and taking a
+  variable's address conservatively counts as initializing it.
+* ``unreachable-stmt`` — statements following a ``return`` / ``break``
+  / ``continue`` (or a construct that terminates on every path) inside
+  the same block.
+
+Findings are warnings: mini-C has no undefined-behaviour police, and
+the kernels' CI gate keys on errors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.toolchain.cc import cast as A
+from repro.toolchain.cc.parser import parse
+
+
+def lint_source(source: str,
+                subject: str = "<source>") -> DiagnosticReport:
+    """Parse and lint mini-C text.  A parse failure becomes a single
+    ``parse-error`` diagnostic instead of an exception."""
+    report = DiagnosticReport(subject=subject)
+    try:
+        unit = parse(source)
+    except A.CompileError as exc:
+        report.error("parse-error", str(exc))
+        return report
+    return lint_unit(unit, subject=subject)
+
+
+def lint_unit(unit: A.TranslationUnit,
+              subject: str = "<unit>") -> DiagnosticReport:
+    report = DiagnosticReport(subject=subject)
+    for function in unit.functions:
+        if function.body is not None:
+            _FunctionLinter(function, report).run()
+    return report
+
+
+class _FunctionLinter:
+    """Walks one function body carrying the definite-assignment state.
+
+    State is the set of *uninitialized* local names currently in scope
+    (everything else — params, globals, initialized locals — is fine).
+    Statement walkers return ``True`` when the statement terminates on
+    every path (return/break/continue), which both feeds the
+    unreachable check and stops state propagation.
+    """
+
+    def __init__(self, function: A.Function, report: DiagnosticReport):
+        self.function = function
+        self.report = report
+
+    def run(self) -> None:
+        self._compound(self.function.body, set())
+
+    # -- statements --------------------------------------------------------
+
+    def _statement(self, stmt: A.Stmt, uninit: set[str]) -> bool:
+        """Lint *stmt*, updating *uninit* in place; True if it always
+        transfers control out of the enclosing block."""
+        if isinstance(stmt, A.Compound):
+            return self._compound(stmt, uninit)
+        if isinstance(stmt, A.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, uninit)
+            return False
+        if isinstance(stmt, A.DeclList):
+            for decl in stmt.decls:
+                self._statement(decl, uninit)
+            return False
+        if isinstance(stmt, A.VarDecl):
+            if stmt.init is not None:
+                self._expr(stmt.init, uninit)
+            if stmt.init_list is not None:
+                for expr in stmt.init_list:
+                    self._expr(expr, uninit)
+            # Arrays are scratch buffers filled element-wise; tracking
+            # them per-element is out of scope, so only scalars count.
+            is_scalar = stmt.ctype is None or not stmt.ctype.is_array
+            if stmt.init is None and stmt.init_list is None and is_scalar:
+                uninit.add(stmt.name)
+            else:
+                uninit.discard(stmt.name)
+            return False
+        if isinstance(stmt, A.If):
+            self._expr(stmt.cond, uninit)
+            then_state = set(uninit)
+            else_state = set(uninit)
+            then_exits = self._statement(stmt.then, then_state) \
+                if stmt.then is not None else False
+            else_exits = self._statement(stmt.otherwise, else_state) \
+                if stmt.otherwise is not None else False
+            # Definite assignment after the if: a variable is
+            # initialized iff every *continuing* path initialized it.
+            if then_exits and else_exits:
+                merged = set(uninit)  # nothing continues; state is moot
+            elif then_exits:
+                merged = else_state
+            elif else_exits:
+                merged = then_state
+            else:
+                merged = then_state | else_state
+            uninit.clear()
+            uninit.update(merged)
+            return then_exits and else_exits
+        if isinstance(stmt, A.While):
+            self._expr(stmt.cond, uninit)
+            body_state = set(uninit)
+            if stmt.body is not None:
+                self._statement(stmt.body, body_state)
+            # Zero iterations possible: the post-state is the pre-state.
+            return False
+        if isinstance(stmt, A.DoWhile):
+            # The body runs at least once, so its effects are definite.
+            exits = self._statement(stmt.body, uninit) \
+                if stmt.body is not None else False
+            self._expr(stmt.cond, uninit)
+            return exits
+        if isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self._statement(stmt.init, uninit)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, uninit)
+            body_state = set(uninit)
+            if stmt.body is not None:
+                self._statement(stmt.body, body_state)
+            if stmt.step is not None:
+                self._expr(stmt.step, body_state)
+            return False
+        if isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, uninit)
+            return True
+        if isinstance(stmt, (A.Break, A.Continue)):
+            return True
+        return False
+
+    def _compound(self, block: A.Compound, uninit: set[str]) -> bool:
+        declared_here: set[str] = set()
+        terminated = False
+        for stmt in block.body:
+            if terminated:
+                self.report.warning(
+                    "unreachable-stmt",
+                    f"statement is unreachable (follows a "
+                    f"{self._terminator_name(block, stmt)})",
+                    line=stmt.line, symbol=self.function.name)
+                break  # one finding per block is enough
+            declared_here |= self._declared_names(stmt)
+            terminated = self._statement(stmt, uninit)
+        uninit.difference_update(declared_here)
+        return terminated
+
+    @staticmethod
+    def _declared_names(stmt: A.Stmt) -> set[str]:
+        if isinstance(stmt, A.VarDecl):
+            return {stmt.name}
+        if isinstance(stmt, A.DeclList):
+            return {decl.name for decl in stmt.decls}
+        return set()
+
+    @staticmethod
+    def _terminator_name(block: A.Compound, stmt: A.Stmt) -> str:
+        index = block.body.index(stmt)
+        before = block.body[index - 1] if index else None
+        if isinstance(before, A.Return):
+            return "return"
+        if isinstance(before, A.Break):
+            return "break"
+        if isinstance(before, A.Continue):
+            return "continue"
+        return "statement that always transfers control"
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, expr: A.Expr | None, uninit: set[str]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, A.Ident):
+            if expr.name in uninit:
+                self.report.warning(
+                    "use-before-init",
+                    f"'{expr.name}' may be used before it is "
+                    f"initialized", line=expr.line,
+                    symbol=self.function.name)
+            return
+        if isinstance(expr, A.Assign):
+            # Compound assignment reads the target first.
+            if expr.op != "=" and expr.target is not None:
+                self._expr(expr.target, uninit)
+            self._expr(expr.value, uninit)
+            target = expr.target
+            if isinstance(target, A.Ident):
+                uninit.discard(target.name)
+            else:
+                self._expr(target, uninit)
+            return
+        if isinstance(expr, A.IncDec):
+            # ++/-- both reads and writes.
+            self._expr(expr.target, uninit)
+            if isinstance(expr.target, A.Ident):
+                uninit.discard(expr.target.name)
+            return
+        if isinstance(expr, A.AddrOf):
+            # &x escapes: anything may initialize it through the
+            # pointer, so stop tracking rather than report noise.
+            if isinstance(expr.operand, A.Ident):
+                uninit.discard(expr.operand.name)
+            else:
+                self._expr(expr.operand, uninit)
+            return
+        if isinstance(expr, A.Unary):
+            self._expr(expr.operand, uninit)
+        elif isinstance(expr, A.Binary):
+            self._expr(expr.lhs, uninit)
+            self._expr(expr.rhs, uninit)
+        elif isinstance(expr, A.Conditional):
+            self._expr(expr.cond, uninit)
+            self._expr(expr.then, uninit)
+            self._expr(expr.otherwise, uninit)
+        elif isinstance(expr, A.Call):
+            for arg in expr.args:
+                self._expr(arg, uninit)
+        elif isinstance(expr, A.Index):
+            self._expr(expr.array, uninit)
+            self._expr(expr.index, uninit)
+        elif isinstance(expr, A.Deref):
+            self._expr(expr.pointer, uninit)
+        elif isinstance(expr, (A.Cast, A.SizeOf)):
+            self._expr(expr.operand, uninit)
+        elif isinstance(expr, A.CustomOp):
+            self._expr(expr.lhs, uninit)
+            self._expr(expr.rhs, uninit)
+        # IntLit / StrLit: nothing to do.
+
+
+__all__ = ["lint_source", "lint_unit"]

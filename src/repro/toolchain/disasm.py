@@ -113,9 +113,11 @@ def _disasm_fmt2(inst: DecodedInstruction, pc: int | None) -> str:
     if inst.op2 == OP2_UNIMP:
         return f"unimp 0x{inst.imm22:x}"
     if inst.op2 == OP2_FBFCC:
-        return f"fbfcc<{inst.cond}> (fp disabled)"
+        # No FPU in this core: keep the bytes reassemblable instead of
+        # inventing a mnemonic the assembler would reject.
+        return f".word 0x{inst.word:08x}  ! fbfcc<{inst.cond}> (fp disabled)"
     if inst.op2 == OP2_CBCCC:
-        return f"cbccc<{inst.cond}> (cp disabled)"
+        return f".word 0x{inst.word:08x}  ! cbccc<{inst.cond}> (cp disabled)"
     return f".word 0x{inst.word:08x}"
 
 
@@ -136,8 +138,12 @@ def _disasm_arith(inst: DecodedInstruction, pc: int | None) -> str:
     if op3 == Op3.RETT:
         return f"rett {rs1} + {_operand2(inst)}"
     if op3 == Op3.TICC:
+        # Comma forms only — the assembler's trap syntax has no
+        # `rs1 + imm` shape, and round-tripping matters here.
         name = TRAP_MNEMONICS[Cond(inst.cond)]
-        return f"{name} {rs1} + {_operand2(inst)}"
+        if inst.rs1 == 0:
+            return f"{name} {_operand2(inst)}"
+        return f"{name} {rs1}, {_operand2(inst)}"
     if op3 == Op3.RDASR:
         src = "%y" if inst.rs1 == 0 else f"%asr{inst.rs1}"
         return f"rd {src}, {rd}"

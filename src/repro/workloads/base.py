@@ -91,6 +91,17 @@ class Workload:
     def footprint_bytes(self, seed: int = DEFAULT_SEED) -> int:
         return self.footprint(self.input_for(seed))
 
+    def analyze(self, seed: int = DEFAULT_SEED):
+        """Run the machine-code verifier over the compiled image.
+
+        Returns the :class:`~repro.analysis.diagnostics.DiagnosticReport`
+        with the workload's name as its subject.  Registry kernels are
+        expected to analyze error-free — CI's lint job enforces it.
+        """
+        from repro.analysis.verify import analyze_image
+
+        return analyze_image(self.image(seed), subject=self.name).report
+
     def self_check(self, engine: str = "accurate",
                    seed: int = DEFAULT_SEED) -> "SelfCheckResult":
         """Compile, run on one engine, verify the RESULT word.

@@ -1,0 +1,257 @@
+"""CFG recovery: blocks, delayed branches, annul semantics, dominators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cfg import InstrKind, build_cfg
+from repro.toolchain.asm.parser import assemble
+from repro.toolchain.linker import link
+
+BASE = 0x4000_1000
+
+
+def build(asm_text: str):
+    return link([assemble(asm_text, "cfg-test.s")])
+
+
+def test_straight_line_is_one_block():
+    image = build("""
+    .text
+    .global _start
+_start:
+    or %g0, 1, %o0
+    or %g0, 2, %o1
+    add %o0, %o1, %o2
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    block = cfg.blocks[cfg.entry]
+    # The `ta 0` (trap-always) terminates the block; the trailing nop
+    # starts an unreachable one.
+    assert block.terminator == "trap"
+    assert [i.pc for i in block.instructions] == [
+        BASE, BASE + 4, BASE + 8, BASE + 12]
+    assert cfg.diagnostics.ok()
+
+
+def test_delay_slot_belongs_to_cti_block():
+    image = build("""
+    .text
+    .global _start
+_start:
+    subcc %o0, %o1, %g0
+    bne target
+    or %g0, 7, %o2
+    or %g0, 8, %o3
+target:
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    branch_block = cfg.blocks[cfg.entry]
+    assert branch_block.terminator == "branch"
+    # cmp, bne, delay slot — three words in the CTI's block.
+    assert len(branch_block.instructions) == 3
+    assert branch_block.instructions[-1].pc == BASE + 8
+    # Conditional, not annulled: both successors, slot always executes.
+    assert sorted(branch_block.successors) == [BASE + 12, BASE + 16]
+    assert branch_block.annulled == frozenset()
+    assert branch_block.conditional_slot is None
+
+
+def test_annulled_always_branch_skips_slot():
+    image = build("""
+    .text
+    .global _start
+_start:
+    ba,a target
+    or %g0, 9, %o5
+target:
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    block = cfg.blocks[cfg.entry]
+    # ba,a never executes its delay slot and has one successor.
+    assert block.successors == [BASE + 8]
+    assert block.annulled == frozenset({BASE + 4})
+    assert [i.pc for i in block.executed()] == [BASE]
+
+
+def test_annulled_conditional_marks_slot_conditional():
+    image = build("""
+    .text
+    .global _start
+_start:
+    subcc %o0, %o1, %g0
+    be,a target
+    or %g0, 9, %o5
+    or %g0, 1, %o4
+target:
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    block = cfg.blocks[cfg.entry]
+    assert block.conditional_slot == BASE + 8
+    assert block.annulled == frozenset()
+    assert sorted(block.successors) == [BASE + 12, BASE + 16]
+
+
+def test_call_edges_and_function_partition():
+    image = build("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    retl
+    nop
+""")
+    cfg = build_cfg(image)
+    entry_block = cfg.blocks[cfg.entry]
+    fn_addr = image.symbols["fn"]
+    assert entry_block.terminator == "call"
+    assert entry_block.call_target == fn_addr
+    # The call falls through to the next block, not into the callee.
+    assert entry_block.successors == [BASE + 8]
+    assert cfg.function_entries == sorted({cfg.entry, fn_addr})
+    ret_block = cfg.blocks[fn_addr]
+    assert ret_block.terminator == "retl"
+    assert ret_block.is_return
+
+
+def test_cti_in_delay_slot_is_an_error():
+    image = build("""
+    .text
+    .global _start
+_start:
+    ba out
+    ba out
+    nop
+out:
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    errors = cfg.diagnostics.by_code("cti-in-delay-slot")
+    assert len(errors) == 1
+    assert errors[0].pc == BASE + 4
+    assert errors[0].is_error
+
+
+def test_branch_target_outside_text_is_an_error():
+    # ba .-0x4000 — encoded directly, since the linker refuses to emit a
+    # branch to an address it cannot resolve.  The target lands well
+    # before the text base.
+    image = build("""
+    .text
+    .global _start
+_start:
+    .word 0x10BFF000
+    nop
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    assert cfg.diagnostics.by_code("branch-target-outside-text")
+
+
+def test_unknown_opcode_becomes_word_with_warning():
+    image = build("""
+    .text
+    .global _start
+_start:
+    .word 0x1F800000
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    assert cfg.instructions[BASE].kind == InstrKind.UNKNOWN
+    warnings = cfg.diagnostics.by_code("unknown-opcode")
+    assert warnings and warnings[0].pc == BASE
+    assert not warnings[0].is_error  # never fatal mid-analysis
+
+
+def test_dominator_tree_diamond():
+    image = build("""
+    .text
+    .global _start
+_start:
+    subcc %o0, %o1, %g0
+    be right
+    nop
+    or %g0, 1, %o2
+    ba join
+    nop
+right:
+    or %g0, 2, %o2
+join:
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    idom = cfg.dominator_tree(cfg.entry)
+    join = image.symbols["join"]
+    right = image.symbols["right"]
+    left = BASE + 12
+    assert idom[cfg.entry] is None
+    assert idom[left] == cfg.entry
+    assert idom[right] == cfg.entry
+    # Neither branch arm dominates the join — only the fork does.
+    assert idom[join] == cfg.entry
+    assert cfg.dominates(cfg.entry, cfg.entry, join)
+    assert not cfg.dominates(cfg.entry, left, join)
+
+
+def test_reachable_follows_call_edges():
+    image = build("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    retl
+    nop
+dead:
+    or %g0, 1, %o0
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    reachable = cfg.reachable()
+    assert image.symbols["fn"] in reachable
+    assert image.symbols["dead"] not in reachable
+
+
+def test_nearest_symbol_offsets():
+    image = build("""
+    .text
+    .global _start
+_start:
+    nop
+    nop
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    assert cfg.nearest_symbol(BASE) == "_start"
+    assert cfg.nearest_symbol(BASE + 8) == "_start+0x8"
+
+
+@pytest.mark.parametrize("name", ["xtea", "qsort_rec"])
+def test_registry_kernels_recover_cleanly(name):
+    from repro.workloads import get
+
+    cfg = build_cfg(get(name).image(0))
+    # Real compiled kernels: multiple functions, no structural errors.
+    assert len(cfg.function_entries) >= 2
+    assert cfg.diagnostics.ok()

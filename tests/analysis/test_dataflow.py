@@ -1,0 +1,288 @@
+"""Dataflow engine: effects, liveness, defined regs, reaching defs.
+
+The interesting cases are SPARC-shaped: register-window renaming across
+save/restore, the %y side effect of the multiply unit, condition-code
+producers/consumers, annulled and conditional delay slots, and call
+summaries clobbering the caller-saved set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    CALL_DEFS,
+    REG_ICC,
+    REG_Y,
+    analyze_function,
+    bit,
+    block_effects,
+    instruction_effect,
+    mask_of,
+    reg_number,
+    shift_across_save,
+    shift_across_restore,
+)
+from repro.toolchain.asm.parser import assemble
+from repro.toolchain.linker import link
+
+BASE = 0x4000_1000
+
+
+def build(asm_text: str):
+    return link([assemble(asm_text, "df-test.s")])
+
+
+def flow(asm_text: str):
+    cfg = build_cfg(build(asm_text))
+    return analyze_function(cfg, cfg.entry)
+
+
+def effect_of(asm_line: str):
+    image = build(f"""
+    .text
+    .global _start
+_start:
+    {asm_line}
+    ta 0
+    nop
+""")
+    cfg = build_cfg(image)
+    return instruction_effect(cfg.instructions[BASE])
+
+
+# -- location naming ---------------------------------------------------------
+
+def test_reg_number_aliases():
+    assert reg_number("%g0") == 0
+    assert reg_number("%o0") == 8
+    assert reg_number("%sp") == 14
+    assert reg_number("%l3") == 19
+    assert reg_number("%fp") == 30
+    assert reg_number("%i7") == 31
+    assert reg_number("%y") == REG_Y
+
+
+def test_window_shift_renames_outs_to_ins():
+    # After `save`, the caller's %o2 is the callee's %i2; globals and
+    # the non-window state (%y, icc) are invariant.
+    mask = mask_of([reg_number("%o2"), reg_number("%g3"), REG_Y])
+    shifted = shift_across_save(mask)
+    assert shifted == mask_of([reg_number("%i2"), reg_number("%g3"), REG_Y])
+    # restore is the inverse direction: ins become outs.
+    assert shift_across_restore(shifted) & bit(reg_number("%o2"))
+
+
+# -- instruction effects -----------------------------------------------------
+
+def test_alu_effect_uses_and_defs():
+    eff = effect_of("add %o0, %o1, %o2")
+    assert eff.uses == mask_of([8, 9])
+    assert eff.defs == bit(10)
+
+
+def test_g0_is_never_defined():
+    eff = effect_of("subcc %o0, %o1, %g0")
+    assert eff.defs == bit(REG_ICC)  # only the condition codes
+    assert not eff.uses & bit(0)
+
+
+def test_mul_div_touch_y():
+    assert effect_of("smul %o0, %o1, %o2").defs & bit(REG_Y)
+    assert effect_of("umul %o0, %o1, %o2").defs & bit(REG_Y)
+    assert effect_of("udiv %o0, %o1, %o2").uses & bit(REG_Y)
+    assert effect_of("rd %y, %o3").uses & bit(REG_Y)
+    assert effect_of("wr %o0, 0, %y").defs & bit(REG_Y)
+
+
+def test_icc_producers_and_consumers():
+    assert effect_of("addcc %o0, %o1, %o2").defs & bit(REG_ICC)
+    assert effect_of("addx %o0, %o1, %o2").uses & bit(REG_ICC)
+    mulscc = effect_of("mulscc %o0, %o1, %o2")
+    assert mulscc.uses & bit(REG_Y) and mulscc.defs & bit(REG_Y)
+    assert mulscc.uses & bit(REG_ICC) and mulscc.defs & bit(REG_ICC)
+
+
+def test_store_uses_its_data_register():
+    eff = effect_of("st %o3, [%o0 + 4]")
+    assert eff.uses & bit(11)
+    assert eff.uses & bit(8)
+    assert eff.defs == 0
+
+
+def test_ldd_defines_the_register_pair():
+    eff = effect_of("ldd [%o0], %o2")
+    assert eff.defs == mask_of([10, 11])
+
+
+def test_custom_op_uses_all_three_operands():
+    # Liquid custom ops are modeled as read-modify-write on rd.
+    eff = effect_of("custom 2, %o0, %o1, %o2")
+    assert eff.uses == mask_of([8, 9, 10])
+    assert eff.defs == bit(10)
+
+
+def test_save_restore_carry_window_delta():
+    assert effect_of("save %sp, -96, %sp").window == 1
+    assert effect_of("restore %g0, 0, %g0").window == -1
+
+
+# -- block effects -----------------------------------------------------------
+
+def test_annulled_slot_is_dropped_and_conditional_slot_is_may():
+    cfg = build_cfg(build("""
+    .text
+    .global _start
+_start:
+    ba,a out
+    or %g0, 1, %o0
+out:
+    subcc %o1, 0, %g0
+    be,a done
+    or %g0, 2, %o2
+    nop
+done:
+    ta 0
+    nop
+"""))
+    annul_block = cfg.blocks[cfg.entry]
+    assert [e.pc for e in block_effects(annul_block)] == [BASE]
+    cond_block = cfg.blocks[BASE + 8]
+    slot = [e for e in block_effects(cond_block) if e.pc == BASE + 16]
+    assert len(slot) == 1 and slot[0].may
+    # A "may" def does not kill downstream liveness but its uses count.
+    assert slot[0].defs == bit(10)
+
+
+def test_call_block_appends_clobber_summary():
+    cfg = build_cfg(build("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    retl
+    nop
+"""))
+    effects = block_effects(cfg.blocks[cfg.entry])
+    assert effects[-1].instr is None
+    assert effects[-1].defs == CALL_DEFS
+    assert effects[-1].pc == BASE  # attributed to the call itself
+
+
+# -- whole-function analyses -------------------------------------------------
+
+def test_liveness_straight_line():
+    f = flow("""
+    .text
+    .global _start
+_start:
+    or %g0, 5, %l0
+    or %g0, 7, %l1
+    add %l0, %l1, %o2
+    ta 0
+    nop
+""")
+    # Before the add, both sources are live.  Locals are used here
+    # because EXIT_LIVE conservatively keeps every out/in live at the
+    # trap exit — locals are the only registers that truly die.
+    l0, l1 = reg_number("%l0"), reg_number("%l1")
+    assert f.live_after[BASE + 4] & bit(l0)
+    assert f.live_after[BASE + 4] & bit(l1)
+    # After the add the sources are dead (%o2 stays live at exit).
+    assert not f.live_after[BASE + 8] & bit(l1)
+    assert f.live_after[BASE + 8] & bit(10)
+
+
+def test_liveness_across_register_window():
+    # The leaf writes %i0 (the caller's %o0 return slot) and restores;
+    # liveness of the caller's %o0 must translate into the callee's
+    # window as %i0 being live.
+    f = flow("""
+    .text
+    .global _start
+_start:
+    save %sp, -96, %sp
+    or %g0, 3, %i0
+    ret
+    restore %g0, 0, %g0
+""")
+    # After the save, the write to %i0 must be seen as live (it becomes
+    # the caller-visible %o0 on restore, and EXIT_LIVE keeps outs live).
+    assert f.live_after[BASE + 4] & bit(reg_number("%i0"))
+
+
+def test_defined_registers_flag_locals_as_uninitialized():
+    f = flow("""
+    .text
+    .global _start
+_start:
+    add %l0, 1, %o0
+    ta 0
+    nop
+""")
+    entry_in = f.defined[f.entry][0]
+    assert not entry_in & bit(reg_number("%l0"))
+    assert entry_in & bit(reg_number("%o0"))
+
+
+def test_reaching_defs_and_def_use_chains():
+    f = flow("""
+    .text
+    .global _start
+_start:
+    or %g0, 1, %o0
+    or %g0, 2, %o0
+    add %o0, 0, %o1
+    ta 0
+    nop
+""")
+    # Only the second def of %o0 reaches the add.
+    assert f.uses_of(BASE + 4) == {BASE + 8}
+    assert f.uses_of(BASE) == set()
+
+
+def test_def_use_chains_merge_over_branches():
+    f = flow("""
+    .text
+    .global _start
+_start:
+    subcc %o2, 0, %g0
+    be other
+    or %g0, 1, %o0
+    ba join
+    or %g0, 2, %o0
+other:
+    or %g0, 3, %o0
+join:
+    add %o0, 0, %o1
+    ta 0
+    nop
+""")
+    use = BASE + 24
+    # The delay-slot def on the taken path (+8), the fall-through def
+    # (+16), and the `other` def (+20) all reach the join's use.
+    assert f.uses_of(BASE + 16) == {use}
+    assert f.uses_of(BASE + 20) == {use}
+
+
+def test_call_clobber_kills_upstream_defs():
+    f = flow("""
+    .text
+    .global _start
+_start:
+    or %g0, 9, %o0
+    call fn
+    nop
+    add %o0, 1, %o1
+    ta 0
+    nop
+fn:
+    retl
+    nop
+""")
+    # %o0 is clobbered by the call summary, so the pre-call def must
+    # NOT be chained to the post-call use.
+    assert BASE + 12 not in f.uses_of(BASE)

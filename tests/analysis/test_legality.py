@@ -1,0 +1,213 @@
+"""Rewriter legality checker: the acceptance criterion of this layer.
+
+A legal MAC fusion site must be accepted; illegal variants (live
+temporary, memory op inside the region, region spanning a block
+boundary, non-contiguous PCs) must each be rejected with a reason that
+names the violated condition — and the verified rewriter must apply
+exactly at the accepted sites.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import REG_Y, analyze_function, reg_number
+from repro.analysis.legality import (
+    FusionCandidate,
+    check_fusion,
+    legal_sites,
+    mac_candidates,
+)
+from repro.core.rewriter import MAC_RECIPE
+from repro.toolchain.asm.parser import assemble
+from repro.toolchain.linker import link
+
+BASE = 0x4000_1000
+
+# smul/add with the %o3 temporary genuinely dead afterwards (the
+# explicit re-zeroing kills it past the conservative EXIT_LIVE mask).
+LEGAL_MAC = """\
+    .text
+    .global _start
+_start:
+    smul %o0, %o1, %o3
+    add %o2, %o3, %o2
+    or %g0, 0, %o3
+    ta 0
+    nop
+"""
+
+# Identical region, but %o3 is read again afterwards: the killed
+# temporary escapes, so fusing would change the program.
+ILLEGAL_MAC = """\
+    .text
+    .global _start
+_start:
+    smul %o0, %o1, %o3
+    add %o2, %o3, %o2
+    add %o3, %o4, %o5
+    ta 0
+    nop
+"""
+
+
+def build(asm_text: str):
+    return link([assemble(asm_text, "legality-test.s")])
+
+
+def flow_of(asm_text: str):
+    cfg = build_cfg(build(asm_text))
+    return analyze_function(cfg, cfg.entry)
+
+
+def test_mac_finder_spots_the_shape():
+    f = flow_of(LEGAL_MAC)
+    candidates = mac_candidates(f.blocks)
+    assert len(candidates) == 1
+    cand = candidates[0]
+    assert cand.pcs == (BASE, BASE + 4)
+    assert cand.inputs == (reg_number("%o0"), reg_number("%o1"),
+                           reg_number("%o2"))
+    assert cand.output == reg_number("%o2")
+    assert REG_Y in cand.killed  # smul's high half dies with the fusion
+
+
+def test_legal_fusion_is_accepted():
+    f = flow_of(LEGAL_MAC)
+    [cand] = mac_candidates(f.blocks)
+    result = check_fusion(f, cand)
+    assert result.ok, result.render()
+    assert result.render().startswith("LEGAL:")
+
+
+def test_live_temporary_is_rejected():
+    f = flow_of(ILLEGAL_MAC)
+    [cand] = mac_candidates(f.blocks)
+    result = check_fusion(f, cand)
+    assert not result.ok
+    assert any("live after the region" in r for r in result.reasons)
+    assert result.render().startswith("ILLEGAL:")
+
+
+def test_memory_op_in_region_is_rejected():
+    f = flow_of("""
+    .text
+    .global _start
+_start:
+    smul %o0, %o1, %o3
+    ld [%o4], %o5
+    add %o2, %o3, %o2
+    or %g0, 0, %o3
+    ta 0
+    nop
+""")
+    cand = FusionCandidate(pcs=(BASE, BASE + 4, BASE + 8),
+                           inputs=(8, 9, 10), output=10,
+                           killed=(11, REG_Y))
+    result = check_fusion(f, cand)
+    assert not result.ok
+    assert any("side effects" in r for r in result.reasons)
+
+
+def test_region_spanning_blocks_is_rejected():
+    f = flow_of("""
+    .text
+    .global _start
+_start:
+    smul %o0, %o1, %o3
+    ba next
+    nop
+next:
+    add %o2, %o3, %o2
+    ta 0
+    nop
+""")
+    cand = FusionCandidate(pcs=(BASE, BASE + 4, BASE + 8, BASE + 12),
+                           inputs=(8, 9, 10), output=10,
+                           killed=(11, REG_Y))
+    result = check_fusion(f, cand)
+    assert not result.ok
+    assert any("control-transfer" in r or "block boundary" in r
+               for r in result.reasons)
+
+
+def test_non_contiguous_region_is_rejected():
+    f = flow_of(LEGAL_MAC)
+    cand = FusionCandidate(pcs=(BASE, BASE + 8), inputs=(8, 9, 10),
+                           output=10, killed=(11, REG_Y))
+    result = check_fusion(f, cand)
+    assert not result.ok
+    assert "region is not contiguous" in result.reasons
+
+
+def test_foreign_register_read_is_rejected():
+    # Claim fewer inputs than the region reads: the checker must call
+    # out the unexpected operand rather than accept silently.
+    f = flow_of(LEGAL_MAC)
+    cand = FusionCandidate(pcs=(BASE, BASE + 4),
+                           inputs=(8, 9),  # %o2 accumulator omitted
+                           output=10, killed=(11, REG_Y))
+    result = check_fusion(f, cand)
+    assert not result.ok
+    assert any("neither an input nor produced" in r
+               for r in result.reasons)
+
+
+def test_legal_sites_end_to_end():
+    legal = legal_sites(build(LEGAL_MAC))
+    assert len(legal) == 1 and legal[0].ok
+    illegal = legal_sites(build(ILLEGAL_MAC))
+    assert len(illegal) == 1 and not illegal[0].ok
+
+
+# -- verified rewriting -------------------------------------------------------
+
+def test_verified_rewrite_applies_at_legal_site():
+    image = build(LEGAL_MAC)
+    new_text, count, skipped = MAC_RECIPE.verified_rewrite_asm(
+        LEGAL_MAC, image)
+    assert count == 1 and not skipped
+    assert "custom 2, %o0, %o1, %o2" in new_text
+    assert "smul" not in new_text
+
+
+def test_verified_rewrite_skips_illegal_site():
+    image = build(ILLEGAL_MAC)
+    new_text, count, skipped = MAC_RECIPE.verified_rewrite_asm(
+        ILLEGAL_MAC, image)
+    assert count == 0
+    assert len(skipped) == 1 and not skipped[0].ok
+    assert new_text == ILLEGAL_MAC  # untouched
+
+
+def test_verified_rewrite_mixed_program():
+    mixed = """\
+    .text
+    .global _start
+_start:
+    smul %o0, %o1, %o3
+    add %o2, %o3, %o2
+    or %g0, 0, %o3
+    smul %o0, %o1, %l1
+    add %l0, %l1, %l0
+    add %l1, %o4, %o5
+    ta 0
+    nop
+"""
+    image = build(mixed)
+    new_text, count, skipped = MAC_RECIPE.verified_rewrite_asm(
+        mixed, image)
+    # First site legal, second leaks its %l1 temporary.
+    assert count == 1
+    assert len(skipped) == 1
+    assert "custom 2, %o0, %o1, %o2" in new_text
+    assert "smul %o0, %o1, %l1" in new_text  # second site untouched
+
+
+def test_unverified_rewrite_would_have_broken_it():
+    """The regression the legality layer exists to prevent: the naive
+    textual peephole rewrites the illegal program too."""
+    naive_text, naive_count = MAC_RECIPE.rewrite_asm(ILLEGAL_MAC)
+    assert naive_count == 1  # blindly applied
+    _, verified_count, _ = MAC_RECIPE.verified_rewrite_asm(
+        ILLEGAL_MAC, build(ILLEGAL_MAC))
+    assert verified_count == 0

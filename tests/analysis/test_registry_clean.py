@@ -1,0 +1,92 @@
+"""The verifier over the real registry: every kernel must be
+error-free, and the wiring (Workload.analyze, obs export, CLI, matrix
+sweep) must agree on that fact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, collect_analysis
+from repro.workloads import DEFAULT_SEED, all_workloads, get
+
+KERNEL_NAMES = [wl.name for wl in all_workloads()]
+
+
+def test_registry_has_the_expected_kernels():
+    assert len(KERNEL_NAMES) == 7
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_every_registry_kernel_verifies_without_errors(name):
+    report = get(name).analyze()
+    assert report.subject == name
+    assert not report.errors, report.render_text()
+
+
+def test_workload_analyze_respects_seed():
+    report = get("crc32").analyze(seed=DEFAULT_SEED + 1)
+    assert not report.errors
+
+
+def test_collect_analysis_exports_counters():
+    registry = MetricsRegistry()
+    report = get("xtea").analyze()
+    collect_analysis(report, registry)
+    counters = registry.snapshot()["counters"]
+    assert counters["analysis.errors{subject=xtea}"] == 0
+    assert counters["analysis.warnings{subject=xtea}"] == \
+        len(report.warnings)
+    # Every code appears as a labeled findings series.
+    for code, count in report.codes().items():
+        key = f"analysis.findings{{code={code},subject=xtea}}"
+        assert counters[key] == count
+
+
+def test_cli_exits_zero_on_clean_registry(capsys):
+    from repro.analysis.cli import main
+
+    assert main(["all"]) == 0
+    out = capsys.readouterr().out
+    for name in KERNEL_NAMES:
+        assert name in out
+
+
+def test_cli_json_artifact(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    artifact = tmp_path / "analysis-report.json"
+    assert main(["xtea", "--json", "--sites", "-o", str(artifact)]) == 0
+    capsys.readouterr()  # drain
+    payload = json.loads(artifact.read_text())
+    assert payload["ok"] is True
+    [entry] = payload["reports"]
+    assert entry["subject"] == "xtea"
+    assert entry["ok"] is True
+    assert "sites" in entry
+
+
+def test_cli_rejects_unknown_workload():
+    from repro.analysis.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["no-such-kernel"])
+
+
+def test_sweep_matrix_analyze_flag():
+    from repro.core import (
+        ArchitectureConfig,
+        ConfigurationSpace,
+        SweepRunner,
+    )
+
+    runner = SweepRunner(obs=MetricsRegistry())
+    space = ConfigurationSpace(ArchitectureConfig())
+    outcome = runner.sweep_matrix([get("fir")], space, analyze=True)
+    assert "fir" in outcome.analysis
+    assert not outcome.analysis["fir"].errors
+    section = outcome.report()["analysis"]["fir"]
+    assert section["errors"] == 0
+    counters = runner.obs.snapshot()["counters"]
+    assert counters["analysis.errors{subject=fir}"] == 0

@@ -1,0 +1,247 @@
+"""Machine-code verifier: each lint fires on a crafted program and the
+severity policy (structural = error, dataflow = warning) holds."""
+
+from __future__ import annotations
+
+from repro.analysis.verify import analyze_image, verify_image
+from repro.toolchain.asm.parser import assemble
+from repro.toolchain.linker import link
+
+BASE = 0x4000_1000
+
+
+def build(asm_text: str):
+    return link([assemble(asm_text, "verify-test.s")])
+
+
+def report_for(asm_text: str):
+    return verify_image(build(asm_text), subject="crafted")
+
+
+def test_clean_program_is_clean():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    or %g0, 1, %o0
+    ta 0
+    nop
+""")
+    # The crt0-style trailing nop is the only finding.
+    assert not report.errors
+    assert set(report.codes()) <= {"unreachable-block"}
+
+
+def test_unreachable_block_warns():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    ta 0
+    nop
+dead:
+    or %g0, 1, %o0
+    ta 0
+    nop
+""")
+    findings = report.by_code("unreachable-block")
+    assert findings and all(not f.is_error for f in findings)
+
+
+def test_uninit_read_warns_on_local():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    add %l5, 1, %o0
+    ta 0
+    nop
+""")
+    findings = report.by_code("uninit-read")
+    assert len(findings) == 1
+    assert findings[0].pc == BASE
+    assert "%l5" in findings[0].message
+    assert not findings[0].is_error
+
+
+def test_uninit_read_respects_both_paths():
+    # %l0 written on only one arm of a diamond -> may-uninit at join.
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    subcc %o0, 0, %g0
+    be join
+    nop
+    or %g0, 1, %l0
+join:
+    add %l0, 1, %o1
+    ta 0
+    nop
+""")
+    assert report.by_code("uninit-read")
+    # Same shape, both arms write -> clean.
+    clean = report_for("""
+    .text
+    .global _start
+_start:
+    subcc %o0, 0, %g0
+    be other
+    nop
+    or %g0, 1, %l0
+    ba join
+    nop
+other:
+    or %g0, 2, %l0
+join:
+    add %l0, 1, %o1
+    ta 0
+    nop
+""")
+    assert not clean.by_code("uninit-read")
+
+
+def test_dead_store_warns_on_overwritten_local():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    or %g0, 1, %l0
+    or %g0, 2, %l0
+    add %l0, 0, %o0
+    ta 0
+    nop
+""")
+    findings = report.by_code("dead-store")
+    assert len(findings) == 1
+    assert findings[0].pc == BASE
+    assert not findings[0].is_error
+
+
+def test_dead_store_silent_when_outs_escape():
+    # %o registers stay live at the exit (EXIT_LIVE), so a last write
+    # to an out is never a dead store.
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    or %g0, 1, %o0
+    ta 0
+    nop
+""")
+    assert not report.by_code("dead-store")
+
+
+def test_window_imbalance_on_missing_restore():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    save %sp, -96, %sp
+    retl
+    nop
+""")
+    findings = report.by_code("window-imbalance")
+    assert findings and all(f.is_error for f in findings)
+
+
+def test_window_imbalance_on_bare_restore():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    restore %g0, 0, %g0
+    ta 0
+    nop
+""")
+    findings = report.by_code("window-imbalance")
+    assert findings and findings[0].is_error
+    assert "without a matching save" in findings[0].message
+
+
+def test_balanced_save_restore_is_clean():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    save %sp, -96, %sp
+    or %g0, 1, %i0
+    ret
+    restore %g0, 0, %g0
+""")
+    assert not report.by_code("window-imbalance")
+
+
+def test_misaligned_mem_on_known_address():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    sethi %hi(0x40000000), %o0
+    or %o0, 2, %o0
+    ld [%o0], %o1
+    ta 0
+    nop
+""")
+    findings = report.by_code("misaligned-mem")
+    assert len(findings) == 1
+    assert findings[0].is_error
+    assert "0x40000002" in findings[0].message
+
+
+def test_aligned_and_unknown_addresses_are_clean():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    sethi %hi(0x40000000), %o0
+    ld [%o0 + 8], %o1
+    ld [%o2 + 2], %o3
+    ta 0
+    nop
+""")
+    # %o2 is unknown: no guessing, no finding.
+    assert not report.by_code("misaligned-mem")
+
+
+def test_odd_register_pair_is_an_error():
+    report = report_for("""
+    .text
+    .global _start
+_start:
+    ldd [%o0], %o3
+    ta 0
+    nop
+""")
+    findings = report.by_code("odd-register-pair")
+    assert findings and findings[0].is_error
+
+
+def test_analyze_image_exposes_functions():
+    analysis = analyze_image(build("""
+    .text
+    .global _start
+_start:
+    call fn
+    nop
+    ta 0
+    nop
+fn:
+    retl
+    nop
+"""), subject="crafted")
+    assert analysis.report.subject == "crafted"
+    assert len(analysis.functions) == 2
+    assert {f.entry for f in analysis.functions} == {
+        BASE, analysis.cfg.function_entries[1]}
+    assert analysis.functions[0].name == "_start"

@@ -1,0 +1,168 @@
+"""Source-level mini-C lint: definite assignment + unreachable code,
+sharing the diagnostic currency of the binary verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.toolchain.cc.lint import lint_source
+from repro.workloads import all_workloads
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in lint_source(source)]
+
+
+def test_use_before_init_simple():
+    report = lint_source("""
+int f(void) {
+    int x;
+    return x + 1;
+}
+""", subject="crafted")
+    [diag] = report.diagnostics
+    assert diag.code == "use-before-init"
+    assert "'x'" in diag.message
+    assert diag.symbol == "f"
+    assert not diag.is_error  # lint findings are warnings
+
+
+def test_initialized_and_params_are_clean():
+    assert codes("""
+int f(int a) {
+    int x = 2;
+    return a + x;
+}
+""") == []
+
+
+def test_branch_merge_requires_both_arms():
+    assert "use-before-init" in codes("""
+int f(int a) {
+    int x;
+    if (a) { x = 1; }
+    return x;
+}
+""")
+    assert codes("""
+int f(int a) {
+    int x;
+    if (a) { x = 1; } else { x = 2; }
+    return x;
+}
+""") == []
+
+
+def test_early_return_arm_counts_as_initializing():
+    # The then-arm exits, so only the else path continues — and it
+    # initializes x.
+    assert codes("""
+int f(int a) {
+    int x;
+    if (a) { return 0; } else { x = 2; }
+    return x;
+}
+""") == []
+
+
+def test_while_body_may_not_run():
+    assert "use-before-init" in codes("""
+int f(int a) {
+    int x;
+    while (a) { x = 1; a = a - 1; }
+    return x;
+}
+""")
+
+
+def test_do_while_body_is_definite():
+    assert codes("""
+int f(int a) {
+    int x;
+    do { x = a; a = a - 1; } while (a);
+    return x;
+}
+""") == []
+
+
+def test_compound_assignment_reads_target():
+    assert "use-before-init" in codes("""
+int f(void) {
+    int x;
+    x += 1;
+    return x;
+}
+""")
+
+
+def test_address_of_stops_tracking():
+    assert codes("""
+void fill(int *p);
+int f(void) {
+    int x;
+    fill(&x);
+    return x;
+}
+""") == []
+
+
+def test_arrays_are_not_tracked():
+    # Element-wise initialization is the kernels' idiom; per-element
+    # tracking is out of scope so arrays must stay silent.
+    assert codes("""
+int f(void) {
+    int buf[4];
+    int i;
+    for (i = 0; i < 4; i++) { buf[i] = i; }
+    return buf[2];
+}
+""") == []
+
+
+def test_unreachable_after_return():
+    report = lint_source("""
+int f(int a) {
+    return a;
+    a = a + 1;
+    return a;
+}
+""", subject="crafted")
+    unreachable = [d for d in report.diagnostics
+                   if d.code == "unreachable-stmt"]
+    assert len(unreachable) == 1  # one finding per block
+    assert "return" in unreachable[0].message
+
+
+def test_unreachable_after_break():
+    assert "unreachable-stmt" in codes("""
+int f(int a) {
+    while (a) {
+        break;
+        a = a - 1;
+    }
+    return a;
+}
+""")
+
+
+def test_if_with_both_arms_returning_terminates():
+    assert "unreachable-stmt" in codes("""
+int f(int a) {
+    if (a) { return 1; } else { return 2; }
+    return 3;
+}
+""")
+
+
+def test_parse_failure_is_a_diagnostic_not_an_exception():
+    report = lint_source("int f( {", subject="broken")
+    [diag] = report.diagnostics
+    assert diag.code == "parse-error"
+    assert diag.is_error
+
+
+@pytest.mark.parametrize("workload", all_workloads(),
+                         ids=lambda wl: wl.name)
+def test_registry_kernel_sources_lint_clean(workload):
+    report = lint_source(workload.c_source(0), subject=workload.name)
+    assert not report.diagnostics, report.render_text()
