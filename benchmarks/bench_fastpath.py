@@ -20,6 +20,10 @@ from .conftest import figure7_image, print_table
 
 #: Acceptance floor: functional steps/s over accurate instructions/s.
 SPEEDUP_FLOOR = 5.0
+#: Acceptance floors for the block translator: translated steps/s over
+#: functional steps/s, and over accurate instructions/s.
+TRANSLATED_FLOOR = 5.0
+TRANSLATED_ACCURATE_FLOOR = 25.0
 WARMUP_BUDGET = 60_000
 ROUNDS = 3
 
@@ -41,11 +45,93 @@ def _functional_rate(image) -> tuple[float, int]:
     for _ in range(ROUNDS):
         sim = Simulator(capture_memory_trace=False, obs=False)
         start = time.perf_counter()
-        sim.checkpoint(image, WARMUP_BUDGET)
+        # checkpoint() defaults to the translated engine now; this gate
+        # is specifically about the single-instruction functional path.
+        sim.checkpoint(image, WARMUP_BUDGET, warmup_engine="fast")
         elapsed = time.perf_counter() - start
         best = max(best, sim.fastpath_instructions / elapsed)
         steps = sim.fastpath_instructions
     return best, steps
+
+
+def _steady_rate(image, engine: str) -> float:
+    """Steady-state fast_forward throughput (steps/s): boot, let the
+    engine warm its caches (decode memo, block cache), then time a fixed
+    step budget.  The same methodology for both fast engines, so the
+    ratio is free of boot/checkpoint overhead."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim = Simulator(capture_memory_trace=False, obs=False)
+        eng = sim._boot_and_dispatch(image, engine)
+        poll = sim.rom_info.poll_address
+        eng.fast_forward(2_000, stop_pc=poll)
+        start = time.perf_counter()
+        steps = eng.fast_forward(WARMUP_BUDGET, stop_pc=poll)
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best
+
+
+def test_translated_throughput_floor(benchmark):
+    """Block translator vs single-instruction dispatch vs accurate: the
+    translated engine must sustain at least 5x the functional engine's
+    steady-state step rate (and 25x the accurate engine) on the fig8
+    kernel."""
+    image = figure7_image()
+    accurate_rate, _ = _accurate_rate(image)
+    functional_rate = _steady_rate(image, "fast")
+
+    result = {}
+
+    def measure():
+        result["rate"] = _steady_rate(image, "translated")
+        return result["rate"]
+
+    translated_rate = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = translated_rate / functional_rate
+    vs_accurate = translated_rate / accurate_rate
+    benchmark.extra_info["functional_steps_per_s"] = round(functional_rate)
+    benchmark.extra_info["translated_steps_per_s"] = round(translated_rate)
+    benchmark.extra_info["speedup_vs_functional"] = round(speedup, 2)
+    benchmark.extra_info["speedup_vs_accurate"] = round(vs_accurate, 2)
+    print_table(
+        "Block translation throughput (fig8 kernel)",
+        ["engine", "rate (steps/s)", "speedup"],
+        [["cycle-accurate", f"{accurate_rate:,.0f}", "1x"],
+         ["functional", f"{functional_rate:,.0f}",
+          f"{functional_rate / accurate_rate:.1f}x"],
+         ["translated", f"{translated_rate:,.0f}",
+          f"{speedup:.2f}x functional / {vs_accurate:.1f}x accurate"]])
+    assert speedup >= TRANSLATED_FLOOR, (
+        f"block translation is only {speedup:.2f}x the functional engine "
+        f"(floor {TRANSLATED_FLOOR}x)")
+    assert vs_accurate >= TRANSLATED_ACCURATE_FLOOR, (
+        f"block translation is only {vs_accurate:.1f}x the accurate "
+        f"engine (floor {TRANSLATED_ACCURATE_FLOOR}x)")
+
+
+def test_translated_checkpoint_is_byte_identical(benchmark):
+    """A checkpoint warmed on the translated engine must hand off the
+    same measured window as a functional or accurate warmup."""
+    image = figure7_image()
+
+    def canonical(report) -> str:
+        return json.dumps({
+            "cycles": report.cycles, "instructions": report.instructions,
+            "mix": report.instruction_mix, "dcache": report.dcache,
+            "icache": report.icache, "result_word": report.result_word,
+            "uart": report.uart_output.hex(), "obs": report.obs,
+        }, sort_keys=True, default=str)
+
+    def windowed():
+        return Simulator(capture_memory_trace=False).run(
+            image, fast_forward=WARMUP_BUDGET, warmup_engine="translated")
+
+    translated = benchmark.pedantic(windowed, rounds=1, iterations=1)
+    accurate = Simulator(capture_memory_trace=False).run(
+        image, fast_forward=WARMUP_BUDGET, warmup_engine="accurate")
+    assert canonical(translated) == canonical(accurate)
+    assert translated.fastpath["warmup_engine"] == "translated"
 
 
 def test_fastpath_throughput_floor(benchmark):

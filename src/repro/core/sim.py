@@ -30,6 +30,7 @@ from repro.core.config import ArchitectureConfig
 from repro.core.rewriter import BUILTIN_RECIPES, install_recipes
 from repro.cpu import IntegerUnit
 from repro.cpu.archstate import ArchState
+from repro.cpu.blockcache import TranslatedUnit
 from repro.cpu.fastpath import FastMemory, FunctionalUnit
 from repro.cpu.isa import (
     OP_BRANCH_SETHI,
@@ -175,6 +176,9 @@ class Simulator:
         self.fastpath_instructions = 0   # steps executed functionally
         self.fastpath_retired = 0        # of which retired instructions
         self.fastpath_handoffs = 0       # fast->accurate engine handoffs
+        self.fastpath_blocks_translated = 0   # blocks compiled
+        self.fastpath_blocks_executed = 0     # block executions
+        self.fastpath_blocks_invalidated = 0  # blocks dropped (SMC/flush)
         self.checkpoint_captures = 0
         self.checkpoint_restores = 0
 
@@ -200,6 +204,16 @@ class Simulator:
         Only PC/nPC/annul (copied in here) and the retirement counters
         are private — :meth:`_sync_from_functional` copies them back.
         """
+        return self._fast_unit(FunctionalUnit)
+
+    def translated_unit(self) -> TranslatedUnit:
+        """Like :meth:`functional_unit`, but with the basic-block
+        translation cache (:class:`~repro.cpu.blockcache.TranslatedUnit`)
+        — same architectural results, roughly an order of magnitude
+        faster on straight-line-heavy code."""
+        return self._fast_unit(TranslatedUnit)
+
+    def _fast_unit(self, factory):
         cpu = self.cpu
         mem = FastMemory()
         mem.add_region(self.memmap.prom_base, self.prom.data,
@@ -207,10 +221,10 @@ class Simulator:
         mem.add_region(self.memmap.sram_base, self.sram.data, name="sram")
         mem.add_mmio(self.memmap.apb_base, self.memmap.apb_size, self.apb,
                      name="apb")
-        fast = FunctionalUnit(mem, regs=cpu.regs, ctrl=cpu.ctrl,
-                              decode_cache=cpu.decode_cache,
-                              extensions=cpu.extensions, asr=cpu.asr,
-                              reset_pc=self.memmap.prom_base)
+        fast = factory(mem, regs=cpu.regs, ctrl=cpu.ctrl,
+                       decode_cache=cpu.decode_cache,
+                       extensions=cpu.extensions, asr=cpu.asr,
+                       reset_pc=self.memmap.prom_base)
         fast.pc, fast.npc, fast.annul = cpu.pc, cpu.npc, cpu.annul
         fast.halted, fast.error_tt = cpu.halted, cpu.error_tt
         fast.interrupt_source = cpu.interrupt_source
@@ -224,14 +238,22 @@ class Simulator:
         cpu.trap_count += fast.trap_count
         self.fastpath_instructions += fast.cycles
         self.fastpath_retired += fast.instret
+        self.fastpath_blocks_translated += getattr(
+            fast, "blocks_translated", 0)
+        self.fastpath_blocks_executed += getattr(fast, "blocks_executed", 0)
+        self.fastpath_blocks_invalidated += getattr(
+            fast, "blocks_invalidated", 0)
 
     @staticmethod
     def _warmup(engine, budget: int, poll: int) -> int:
-        """Step *engine* up to *budget* times, stopping early if the
+        """Advance *engine* up to *budget* steps, stopping early if the
         program finishes (returns to the boot ROM's polling loop).
         Returns the steps actually executed.  Step-for-step identical on
-        either engine, so ``fast_forward=N`` lands on the same
+        every engine, so ``fast_forward=N`` lands on the same
         architectural state no matter who executes the N steps."""
+        fast_forward = getattr(engine, "fast_forward", None)
+        if fast_forward is not None:
+            return fast_forward(budget, stop_pc=poll)
         executed = 0
         while executed < budget and engine.pc != poll:
             engine.step()
@@ -281,7 +303,7 @@ class Simulator:
         self.checkpoint_restores += 1
 
     def checkpoint(self, image: Image, fast_forward: int,
-                   warmup_engine: str = "fast") -> ArchState:
+                   warmup_engine: str = "translated") -> ArchState:
         """Boot, dispatch *image*, execute *fast_forward* steps of the
         program, and capture the state at the handoff point.
 
@@ -302,11 +324,15 @@ class Simulator:
         """Boot to the polling loop, load *image*, run to its entry.
         Returns the engine (functional or cycle-accurate) that did it,
         positioned at the program's first instruction."""
-        if warmup_engine not in ("fast", "accurate"):
+        if warmup_engine not in ("fast", "translated", "accurate"):
             raise ValueError(f"unknown warmup engine '{warmup_engine}'")
         poll = self.rom_info.poll_address
-        engine = (self.functional_unit() if warmup_engine == "fast"
-                  else self.cpu)
+        if warmup_engine == "translated":
+            engine = self.translated_unit()
+        elif warmup_engine == "fast":
+            engine = self.functional_unit()
+        else:
+            engine = self.cpu
         engine.run(max_instructions=100_000, until_pc=poll)
         self._load_image(image)
         engine.run(max_instructions=10_000, until_pc=image.entry)
@@ -330,8 +356,10 @@ class Simulator:
 
         Two-speed execution: with ``fast_forward=N``, the boot sequence
         and the program's first N steps execute on the functional fast
-        path (``warmup_engine="accurate"`` keeps them cycle-accurate —
-        the differential baseline), then the machine is normalized
+        path (``warmup_engine="translated"`` adds the basic-block
+        translation cache on top — fastest; ``"accurate"`` keeps them
+        cycle-accurate — the differential baseline), then the machine is
+        normalized
         (caches flushed, statistics zeroed) and handed to the
         cycle-accurate engine, whose *measured window* covers only the
         rest of the program.  ``from_checkpoint`` skips warmup entirely
@@ -422,8 +450,21 @@ class Simulator:
         and the cache sections are all-zero — this mode answers "what
         does the program compute", not "how fast".
         """
+        return self._run_fast(image, max_instructions, "fast")
+
+    def run_translated(self, image: Image,
+                       max_instructions: int = 50_000_000) -> SimReport:
+        """Like :meth:`run_functional`, on the block-translating engine:
+        byte-identical architectural results (the differential suite
+        holds both against the accurate engine), several times faster,
+        with the block-cache counters in the report's ``fastpath``
+        section."""
+        return self._run_fast(image, max_instructions, "translated")
+
+    def _run_fast(self, image: Image, max_instructions: int,
+                  engine_name: str) -> SimReport:
         poll = self.rom_info.poll_address
-        fast = self._boot_and_dispatch(image, "fast")
+        fast = self._boot_and_dispatch(image, engine_name)
 
         mix: Counter[str] = Counter()
         fast.on_retire = lambda pc, inst: mix.update((_classify(inst),))
@@ -437,6 +478,11 @@ class Simulator:
         self._sync_from_functional(fast)
         self.sram.host_write_word(self.memmap.mailbox_start, 0)
 
+        fastpath = {"engine": engine_name, "steps": window}
+        if engine_name == "translated":
+            fastpath["blocks_translated"] = fast.blocks_translated
+            fastpath["blocks_executed"] = fast.blocks_executed
+            fastpath["blocks_invalidated"] = fast.blocks_invalidated
         empty_trace = MemoryTrace(np.zeros(0, np.uint64),
                                   np.zeros(0, np.uint8),
                                   np.zeros(0, bool), np.zeros(0, bool))
@@ -450,7 +496,7 @@ class Simulator:
             result_word=self.sram.host_read_word(self.memmap.result_addr),
             uart_output=self.uart.transmitted(),
             obs={},
-            fastpath={"engine": "fast", "steps": window},
+            fastpath=fastpath,
         )
 
 

@@ -46,13 +46,16 @@ from repro.toolchain.objfile import Image
 #: v2: records carry the per-point ``obs`` metrics snapshot.
 #: v3: fingerprints gain a ``-ff<N>`` suffix for fast-forwarded sweeps,
 #: so windowed and whole-program measurements never collide.
-SCHEMA_VERSION = 3
+#: v4: checkpoint-building warmups run on the block-translating engine
+#: (architecturally identical, but conservatively invalidate anything
+#: produced before the translator existed).
+SCHEMA_VERSION = 4
 
 #: Layout version of persisted warmed checkpoints (see
 #: :meth:`ResultCache.put_checkpoint`); the wrapped
 #: :class:`~repro.cpu.archstate.ArchState` payload carries its own
-#: schema number on top of this.
-CHECKPOINT_SCHEMA = 1
+#: schema number on top of this.  v2: built by the translated engine.
+CHECKPOINT_SCHEMA = 2
 
 #: Default instruction budget per simulated point.
 DEFAULT_MAX_INSTRUCTIONS = 20_000_000

@@ -1,6 +1,7 @@
 """LEON2-style SPARC V8 soft-core model (the paper's processor substrate)."""
 
 from repro.cpu.archstate import ArchState
+from repro.cpu.blockcache import TranslatedUnit
 from repro.cpu.decode import DecodedInstruction, decode
 from repro.cpu.fastpath import FastMemory, FunctionalUnit
 from repro.cpu.iu import IntegerUnit
@@ -15,6 +16,7 @@ __all__ = [
     "FastMemory",
     "FunctionalUnit",
     "IntegerUnit",
+    "TranslatedUnit",
     "PipelineModel",
     "TimingConfig",
     "ControlRegisters",

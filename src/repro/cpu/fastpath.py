@@ -37,7 +37,11 @@ from repro.cpu.registers import ControlRegisters, RegisterFile
 from repro.mem.interface import BusError
 from repro.utils import sign_extend, u32
 
-__all__ = ["FastMemory", "FunctionalUnit"]
+__all__ = ["FastMemory", "FunctionalUnit", "MEMO_CAPACITY"]
+
+#: Per-PC decode memo bound; reaching it clears the memo wholesale (the
+#: same simple policy as :class:`~repro.cpu.decode.DecodeCache`).
+MEMO_CAPACITY = 1 << 16
 
 
 class FastMemory:
@@ -73,7 +77,7 @@ class FastMemory:
                 offset = address - base
                 return int.from_bytes(buffer[offset:offset + size], "big")
         for base, limit, port, _ in self._mmio:
-            if base <= address < limit:
+            if base <= address and address + size <= limit:
                 value, _ = port.read(address, size)
                 return value
         raise BusError(address, "unmapped address")
@@ -90,10 +94,22 @@ class FastMemory:
                 offset = address - base
                 return int.from_bytes(buffer[offset:offset + 4], "big"), True
         for base, limit, port, _ in self._mmio:
-            if base <= address < limit:
+            if base <= address and address + 4 <= limit:
                 value, _ = port.read(address, 4)
                 return value, False
         raise BusError(address, "unmapped address")
+
+    def read_code_ram(self, address: int) -> int | None:
+        """Side-effect-free fetch probe for the block translator: the
+        word at *address* if it lies in a byte-array region, else None
+        (MMIO windows and unmapped space are never translated — device
+        reads can have side effects and must go through :meth:`read_code`
+        one instruction at a time)."""
+        for base, limit, buffer, _, _ in self._regions:
+            if base <= address and address + 4 <= limit:
+                offset = address - base
+                return int.from_bytes(buffer[offset:offset + 4], "big")
+        return None
 
     def write(self, address: int, size: int, value: int) -> None:
         for base, limit, buffer, writable, name in self._regions:
@@ -105,7 +121,7 @@ class FastMemory:
                     (value & ((1 << (8 * size)) - 1)).to_bytes(size, "big")
                 return
         for base, limit, port, _ in self._mmio:
-            if base <= address < limit:
+            if base <= address and address + size <= limit:
                 port.write(address, size, value)
                 return
         raise BusError(address, "unmapped address")
@@ -215,13 +231,16 @@ class FunctionalUnit:
         self.interrupt_source: Callable[[], int] | None = None
 
         self._transfer_target: int | None = None
-        # Decoded-instruction memo keyed by PC — the fetch+decode of the
-        # hot loop collapses to one dict probe.  Coherent under the same
-        # contract the real I-cache relies on: stale entries survive
-        # only until a FLUSH (the modified boot ROM flushes in its
-        # polling loop before dispatching a newly loaded program), and
-        # stores through this engine invalidate the words they touch.
-        self._inst_cache: dict[int, DecodedInstruction] = {}
+        # Decode memo keyed by PC: (instruction, pre-resolved handler) —
+        # the fetch+decode+table-lookup of the hot loop collapses to one
+        # dict probe.  Coherent under the same contract the real I-cache
+        # relies on: stale entries survive only until a FLUSH (the
+        # modified boot ROM flushes in its polling loop before
+        # dispatching a newly loaded program), and stores through this
+        # engine invalidate the words they touch.  Capped at
+        # MEMO_CAPACITY entries by wholesale clearing.
+        self._inst_cache: dict[
+            int, tuple[DecodedInstruction, Callable | None]] = {}
 
     # ------------------------------------------------------------------
     # Shared semantics: these are the IntegerUnit's own methods, so the
@@ -308,7 +327,7 @@ class FunctionalUnit:
             inst = self.decode_cache.lookup(word)
             entry = (inst, _resolve_handler(inst))
             if from_ram:
-                if len(self._inst_cache) >= (1 << 16):
+                if len(self._inst_cache) >= MEMO_CAPACITY:
                     self._inst_cache.clear()
                 self._inst_cache[pc] = entry
         inst, handler = entry
@@ -345,12 +364,28 @@ class FunctionalUnit:
             self.on_retire(pc, inst)
         return 1
 
+    def fast_forward(self, budget: int, stop_pc: int | None = None) -> int:
+        """Execute up to *budget* steps, stopping early when the PC
+        reaches *stop_pc* (checked before each step, like ``run``).
+        Returns the steps actually executed.  One step here is one step
+        on any engine, which is what lets ``fast_forward=N`` mean the
+        same machine state no matter who executes the N steps — the
+        block-translating subclass overrides this with a block-granular
+        loop that preserves exactly that contract."""
+        executed = 0
+        step = self.step
+        while executed < budget and self.pc != stop_pc:
+            executed += step()
+        return executed
+
     def run(self, max_instructions: int = 10_000_000,
             until_pc: int | None = None) -> int:
-        """Same contract as :meth:`IntegerUnit.run` (stop *before*
-        executing ``until_pc``; :class:`~repro.cpu.traps.WatchdogExpired`
-        on budget exhaustion), with the loop kept tight — this is the
-        fast path's outer loop."""
+        """Same contract as :meth:`IntegerUnit.run`: with *until_pc*,
+        stop *before* executing it and raise
+        :class:`~repro.cpu.traps.WatchdogExpired` if the budget runs out
+        first; without it, execute exactly ``max_instructions`` steps
+        and return normally.  Returns the cycles consumed by this call;
+        the loop is kept tight — this is the fast path's outer loop."""
         start_cycles = self.cycles
         step = self.step
         if until_pc is None:

@@ -107,6 +107,12 @@ def collect_fastpath(sim, registry: MetricsRegistry) -> None:
         getattr(sim, "checkpoint_captures", 0))
     registry.counter("fastpath.checkpoint_restores").inc(
         getattr(sim, "checkpoint_restores", 0))
+    registry.counter("fastpath.blocks_translated").inc(
+        getattr(sim, "fastpath_blocks_translated", 0))
+    registry.counter("fastpath.blocks_executed").inc(
+        getattr(sim, "fastpath_blocks_executed", 0))
+    registry.counter("fastpath.blocks_invalidated").inc(
+        getattr(sim, "fastpath_blocks_invalidated", 0))
 
 
 def collect_ahb(bus, registry: MetricsRegistry) -> None:

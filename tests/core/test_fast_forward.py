@@ -58,11 +58,28 @@ class TestSimulatorFastForward:
             image, fast_forward=WARMUP, warmup_engine="fast")
         accurate = Simulator(capture_memory_trace=False).run(
             image, fast_forward=WARMUP, warmup_engine="accurate")
+        translated = Simulator(capture_memory_trace=False).run(
+            image, fast_forward=WARMUP, warmup_engine="translated")
         assert _canonical(fast) == _canonical(accurate)
+        assert _canonical(translated) == _canonical(accurate)
         # the window must be substantial, or this test proves nothing
         assert fast.instructions > 10_000
         assert fast.fastpath["warmup_engine"] == "fast"
         assert accurate.fastpath["warmup_engine"] == "accurate"
+        assert translated.fastpath["warmup_engine"] == "translated"
+
+    def test_translated_checkpoint_matches_functional(self, image):
+        """checkpoint() now warms on the translated engine by default;
+        the captured state must be byte-identical to a functional warmup
+        of the same depth, and the block cache must actually have run."""
+        warm_t = Simulator(capture_memory_trace=False)
+        state_t = warm_t.checkpoint(image, WARMUP)
+        warm_f = Simulator(capture_memory_trace=False)
+        state_f = warm_f.checkpoint(image, WARMUP, warmup_engine="fast")
+        assert state_t == state_f
+        assert warm_t.fastpath_blocks_translated > 0
+        assert warm_t.fastpath_blocks_executed > 0
+        assert warm_f.fastpath_blocks_translated == 0
 
     def test_checkpoint_restore_reproduces_the_window(self, image):
         direct = Simulator(capture_memory_trace=False).run(
@@ -110,6 +127,14 @@ class TestSimulatorFastForward:
         assert totals["fastpath.instructions"] > 0
         assert totals["fastpath.handoffs"] == 1
         assert totals["fastpath.checkpoint_captures"] == 0
+
+    def test_obs_exposes_block_cache_counters(self, image):
+        sim = Simulator(capture_memory_trace=False)
+        sim.run(image, fast_forward=WARMUP, warmup_engine="translated")
+        totals = simulator_snapshot(sim)["counters"]
+        assert totals["fastpath.blocks_translated"] > 0
+        assert totals["fastpath.blocks_executed"] > 0
+        assert totals["fastpath.blocks_invalidated"] >= 0
 
 
 class TestSweepFastForward:

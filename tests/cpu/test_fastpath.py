@@ -86,6 +86,32 @@ class TestFastMemory:
         with pytest.raises(BusError):
             mem.read(0x4000_00FE, 4)  # last 2 bytes + 2 beyond
 
+    def test_straddling_mmio_end_faults_without_device_access(self):
+        """Regression: a multi-byte access whose first byte is inside an
+        MMIO window but whose tail runs past it must fault — it used to
+        be routed to the device port."""
+        mem = self._mem()
+        with pytest.raises(BusError):
+            mem.read(0x8000_00FE, 4)
+        with pytest.raises(BusError):
+            mem.write(0x8000_00FE, 4, 0)
+        with pytest.raises(BusError):
+            mem.read_code(0x8000_00FE)
+        assert self.port.reads == []
+        assert self.port.writes == []
+        # the last fully-contained word still works
+        assert mem.read(0x8000_00FC, 4) == 0xA5A5A5A5
+
+    def test_read_code_ram_probes_only_byte_regions(self):
+        """The block translator's fetch probe: RAM/ROM words come back,
+        MMIO and unmapped space return None without touching devices."""
+        mem = self._mem()
+        assert mem.read_code_ram(0x0) == 0xDEADBEEF
+        assert mem.read_code_ram(0x8000_0000) is None
+        assert mem.read_code_ram(0x9000_0000) is None
+        assert mem.read_code_ram(0x4000_00FE) is None  # straddles end
+        assert self.port.reads == []
+
 
 def _run_both(source: str, max_instructions: int = 10_000):
     """Run a standalone program on a fresh IU and a fresh FunctionalUnit
@@ -180,6 +206,51 @@ patch:
         fast._inst_cache[RAM_BASE] = object()
         fast.flush_icache()
         assert not fast._inst_cache
+
+    def test_memo_cap_clears_wholesale_at_capacity(self):
+        """The per-PC decode memo is bounded at MEMO_CAPACITY; hitting
+        the bound clears it wholesale before memoizing the new PC."""
+        from repro.cpu.fastpath import MEMO_CAPACITY
+
+        assert MEMO_CAPACITY == 1 << 16
+        mem = FastMemory()
+        buf = bytearray(0x1000)
+        buf[0:4] = (0x01000000).to_bytes(4, "big")  # nop
+        mem.add_region(RAM_BASE, buf, name="ram")
+        fast = FunctionalUnit(mem, reset_pc=RAM_BASE)
+        fast._inst_cache.update(
+            (i, None) for i in range(MEMO_CAPACITY))
+        fast.step()
+        assert len(fast._inst_cache) == 1
+        assert RAM_BASE in fast._inst_cache
+
+    def test_run_contract_both_paths(self):
+        """run() without until_pc executes exactly the budget and
+        returns; with until_pc it raises WatchdogExpired on exhaustion
+        — code and docstring agree (the docstring used to promise a
+        watchdog on both paths)."""
+        from repro.cpu.traps import WatchdogExpired
+
+        src = """
+    .text
+    .global _start
+_start:
+    b _start
+    add %g1, 1, %g1
+done:
+    nop
+"""
+        image = build(src)
+        buf = bytearray(RAM_SIZE)
+        for base, blob in image.segments.items():
+            buf[base - RAM_BASE:base - RAM_BASE + len(blob)] = blob
+        mem = FastMemory()
+        mem.add_region(RAM_BASE, buf, name="ram")
+        fast = FunctionalUnit(mem, reset_pc=image.entry)
+        assert fast.run(max_instructions=40) == 40  # silent return
+        assert fast.cycles == 40
+        with pytest.raises(WatchdogExpired):
+            fast.run(max_instructions=40, until_pc=image.symbols["done"])
 
 
 class TestSimulatorIntegration:

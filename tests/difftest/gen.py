@@ -21,7 +21,10 @@ The generated mix covers what the two execution engines must agree on:
   (``ldd``/``std`` with even register pairs) against a scratch area;
 * MMIO side effects — UART transmit bytes (the byte stream is part of
   the differential contract), UART status reads, LED port writes and
-  read-backs, cycle-counter reads.
+  read-backs, cycle-counter reads;
+* self-modifying code — hot loops that patch their own body or delay
+  slot, exercising the fast engines' decode-memo and block-cache
+  invalidation (and the translated engine's mid-block bail-out).
 
 Register conventions: ``%g6`` holds the scratch-data base, ``%g7`` the
 UART data-register address; ``%sp`` is set up for the window-trap
@@ -225,8 +228,62 @@ def _block_recursion(rng: random.Random, uid: str, nwindows: int) -> Block:
     return Block(body, funcs)
 
 
+def _block_smc(rng: random.Random, uid: str) -> Block:
+    """Self-modifying code: a loop whose body (or delay slot) is
+    patched while the loop is hot — after the fast engines have
+    memoized the decode and translated the block.  Exercises the
+    per-PC memo pop, block-cache page invalidation, and the
+    active-block dirty bail-out."""
+    addr_r, word_r, tgt_r, counter = rng.sample(
+        ["%o0", "%o1", "%o2", "%o3", "%o4", "%l6", "%l7"], 4)
+    acc = rng.choice(["%g1", "%g2", "%g3", "%g4", "%g5"])
+    label = f"L{uid}"
+    delta = rng.randint(2, 9)
+    in_slot = rng.random() < 0.5
+    body = [
+        f"    set {label}_patch, {addr_r}",
+        f"    ld [{addr_r}], {word_r}",
+        f"    set {label}_target, {tgt_r}",
+        f"    set {rng.randint(2, 5)}, {counter}",
+        f"{label}_top:",
+    ]
+    # SPARC V8 requires FLUSH between storing code and executing it —
+    # the accurate engine's icache only learns of the patch then (the
+    # fast engines' memo/block invalidation is store-triggered, which
+    # is strictly stronger, so all three engines agree after a flush).
+    if in_slot:
+        # patch the branch's delay slot mid-loop
+        body += [
+            f"    st {word_r}, [{tgt_r}]",
+            f"    flush [{tgt_r}]",
+            f"    deccc {counter}",
+            f"    bg {label}_top",
+            f"{label}_target:",
+            f"    add {acc}, 1, {acc}",
+        ]
+    else:
+        # patch a straight-line instruction inside the loop body
+        body += [
+            f"    st {word_r}, [{tgt_r}]",
+            f"    flush [{tgt_r}]",
+            f"{label}_target:",
+            f"    add {acc}, 1, {acc}",
+            f"    deccc {counter}",
+            f"    bg {label}_top",
+            "    nop",
+        ]
+    body += [
+        f"    ba {label}_end",
+        "    nop",
+        f"{label}_patch:",
+        f"    add {acc}, {delta}, {acc}",
+        f"{label}_end:",
+    ]
+    return Block(body)
+
+
 _BLOCK_KINDS = [
-    (_block_alu, 0.30),
+    (_block_alu, 0.26),
     (_block_branch, 0.16),
     (_block_loop, 0.12),
     (_block_mem, 0.16),
@@ -234,6 +291,7 @@ _BLOCK_KINDS = [
     (_block_call, 0.08),
     (_block_div, 0.04),
     (_block_recursion, 0.04),
+    (_block_smc, 0.04),
 ]
 
 

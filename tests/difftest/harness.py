@@ -1,14 +1,15 @@
-"""Differential harness: run one program on both execution engines and
+"""Differential harness: run one program on every execution engine and
 compare everything the architecture defines.
 
-A program passes when the cycle-accurate :class:`IntegerUnit` and the
-functional :class:`FunctionalUnit` finish with equal
+A program passes when the cycle-accurate :class:`IntegerUnit`, the
+functional :class:`FunctionalUnit` and the block-translating
+:class:`TranslatedUnit` all finish with equal
 :class:`~repro.cpu.archstate.ArchState` (registers in every window,
 control registers, the full memory image, peripheral state, retired
 instruction and trap counts) *and* the same UART byte stream and result
-word.  Any divergence is an engine bug by construction — the two share
-decode and execute, so only the parts that differ (fetch/memory path,
-timing shims) can be at fault.
+word.  Any divergence is an engine bug by construction — the engines
+share decode and execute, so only the parts that differ (fetch/memory
+path, timing shims, block translation) can be at fault.
 """
 
 from __future__ import annotations
@@ -30,16 +31,17 @@ def build(asm_text: str):
 
 @dataclass
 class DiffResult:
-    """One differential run: mismatch list plus both engines' reports.
+    """One differential run: mismatch list plus every engine's report.
 
     ``traps`` logs every (tt, pc) the cycle-accurate engine took — the
-    functional engine's trap *count* is already proven equal through the
-    ArchState comparison, so one engine's log describes both.
+    fast engines' trap *counts* are already proven equal through the
+    ArchState comparison, so one engine's log describes all of them.
     """
 
     problems: list[str]
     accurate: SimReport
     functional: SimReport
+    translated: SimReport | None = None
     traps: list[tuple[int, int]] = field(default_factory=list)
 
     @property
@@ -52,54 +54,69 @@ class DiffResult:
 
 def compare_image(image, max_instructions: int = MAX_INSTRUCTIONS
                   ) -> DiffResult:
-    """Run a built image on both engines and compare everything."""
+    """Run a built image on every engine; compare each fast engine's
+    result against the one cycle-accurate baseline run."""
     accurate = Simulator(capture_memory_trace=False, obs=False)
     traps: list[tuple[int, int]] = []
     accurate.cpu.on_trap = lambda tt, pc: traps.append((tt, pc))
     report_a = accurate.run(image, max_instructions=max_instructions)
+    state_a = ArchState.capture(accurate)
+
+    problems = []
     functional = Simulator(capture_memory_trace=False, obs=False)
     report_f = functional.run_functional(image,
                                          max_instructions=max_instructions)
-
-    problems = []
-    state_a = ArchState.capture(accurate)
-    state_f = ArchState.capture(functional)
-    if state_a != state_f:
-        problems.extend(_describe_state_diff(state_a, state_f))
-    if report_a.uart_output != report_f.uart_output:
-        problems.append(
-            f"uart: accurate={report_a.uart_output.hex()} "
-            f"functional={report_f.uart_output.hex()}")
-    if report_a.result_word != report_f.result_word:
-        problems.append(
-            f"result_word: accurate={report_a.result_word} "
-            f"functional={report_f.result_word}")
-    return DiffResult(problems, report_a, report_f, traps)
+    problems += _compare(state_a, report_a, functional, report_f,
+                         "functional")
+    translated = Simulator(capture_memory_trace=False, obs=False)
+    report_t = translated.run_translated(image,
+                                         max_instructions=max_instructions)
+    problems += _compare(state_a, report_a, translated, report_t,
+                         "translated")
+    return DiffResult(problems, report_a, report_f, report_t, traps)
 
 
 def compare_engines(asm_text: str) -> list[str]:
-    """Run on both engines; return mismatch descriptions (empty = pass)."""
+    """Run on every engine; return mismatch descriptions (empty = pass)."""
     return compare_image(build(asm_text)).problems
 
 
-def _describe_state_diff(a: ArchState, b: ArchState) -> list[str]:
+def _compare(state_a: ArchState, report_a: SimReport, sim: Simulator,
+             report: SimReport, label: str) -> list[str]:
+    problems = []
+    state = ArchState.capture(sim)
+    if state_a != state:
+        problems.extend(_describe_state_diff(state_a, state, label))
+    if report_a.uart_output != report.uart_output:
+        problems.append(
+            f"uart: accurate={report_a.uart_output.hex()} "
+            f"{label}={report.uart_output.hex()}")
+    if report_a.result_word != report.result_word:
+        problems.append(
+            f"result_word: accurate={report_a.result_word} "
+            f"{label}={report.result_word}")
+    return problems
+
+
+def _describe_state_diff(a: ArchState, b: ArchState,
+                         label: str = "functional") -> list[str]:
     diffs = []
     for name in ("pc", "npc", "annul", "halted", "error_tt", "psr", "wim",
                  "tbr", "y", "cwp", "retired", "traps_taken"):
         va, vb = getattr(a, name), getattr(b, name)
         if va != vb:
-            diffs.append(f"{name}: accurate={va} functional={vb}")
+            diffs.append(f"{name}: accurate={va} {label}={vb}")
     if a.globals_ != b.globals_:
         for i, (va, vb) in enumerate(zip(a.globals_, b.globals_)):
             if va != vb:
-                diffs.append(f"%g{i}: accurate={va:#x} functional={vb:#x}")
+                diffs.append(f"%g{i}: accurate={va:#x} {label}={vb:#x}")
     if a.window_regs != b.window_regs:
         for i, (va, vb) in enumerate(zip(a.window_regs, b.window_regs)):
             if va != vb:
                 diffs.append(
-                    f"window slot {i}: accurate={va:#x} functional={vb:#x}")
+                    f"window slot {i}: accurate={va:#x} {label}={vb:#x}")
     if a.asr != b.asr:
-        diffs.append(f"asr: accurate={a.asr} functional={b.asr}")
+        diffs.append(f"asr: accurate={a.asr} {label}={b.asr}")
     for name in set(a.memory) | set(b.memory):
         blob_a, blob_b = a.memory.get(name), b.memory.get(name)
         if blob_a != blob_b:
@@ -110,5 +127,5 @@ def _describe_state_diff(a: ArchState, b: ArchState) -> list[str]:
         if a.peripherals.get(name) != b.peripherals.get(name):
             diffs.append(
                 f"peripheral '{name}': accurate={a.peripherals.get(name)} "
-                f"functional={b.peripherals.get(name)}")
-    return diffs or ["ArchState differs (unattributed field)"]
+                f"{label}={b.peripherals.get(name)}")
+    return diffs or [f"ArchState differs (unattributed field, {label})"]

@@ -92,8 +92,8 @@ def test_generated_programs_cover_the_mix():
     """The default seed set exercises every block family the generator
     knows — otherwise the differential suite silently loses coverage."""
     text = "".join(gen.generate(seed) for seed in range(50))
-    for marker in ("call F", "call R", "udiv", "sdiv",
-                   "stb", "ldd", "std", "deccc", "ta 0", "[%g7]"):
+    for marker in ("call F", "call R", "udiv", "sdiv", "stb", "ldd",
+                   "std", "deccc", "ta 0", "[%g7]", "_patch"):
         assert marker in text, f"mix lost '{marker}' blocks"
 
 

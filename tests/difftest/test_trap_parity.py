@@ -1,5 +1,6 @@
-"""Trap parity: every TrapException site behaves identically on both
-engines, including the TBR dispatch into the boot ROM's trap table.
+"""Trap parity: every TrapException site behaves identically on all
+three engines (accurate, functional, translated), including the TBR
+dispatch into the boot ROM's trap table.
 
 Unhandled traps park the machine at the ROM's ``error_state`` loop with
 ET = 0 and the trap type still latched in TBR — so driving both engines
@@ -66,10 +67,12 @@ def test_unhandled_trap_parity(body, expected_tt):
     asm = PROLOGUE + body + "\n" + EPILOGUE
     accurate = _run_to_error(asm, "accurate")
     functional = _run_to_error(asm, "fast")
+    translated = _run_to_error(asm, "translated")
     assert (accurate.tbr >> 4) & 0xFF == expected_tt
     assert accurate == functional
+    assert accurate == translated
     # the error loop head is where both machines parked
-    assert accurate.pc == functional.pc
+    assert accurate.pc == functional.pc == translated.pc
     # trap entry disabled further traps and stayed there
     assert not accurate.psr & (1 << 5)  # PSR.ET
 
