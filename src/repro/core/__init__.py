@@ -14,6 +14,15 @@ from repro.core.recon_cache import (
     ReconCacheThrashWarning,
     ReconfigurationCache,
 )
+from repro.core.sampling import (
+    Estimate,
+    SampledRun,
+    SampledRunner,
+    SamplingPlan,
+    WindowSpec,
+    estimate_windows,
+    place_windows,
+)
 from repro.core.sim import SimReport, Simulator, simulate
 from repro.core.recon_server import (
     ConfigureOutcome,
@@ -66,6 +75,13 @@ __all__ = [
     "CacheOutcome",
     "ReconCacheThrashWarning",
     "ReconfigurationCache",
+    "Estimate",
+    "SampledRun",
+    "SampledRunner",
+    "SamplingPlan",
+    "WindowSpec",
+    "estimate_windows",
+    "place_windows",
     "SimReport",
     "Simulator",
     "simulate",

@@ -182,6 +182,16 @@ class Simulator:
         self.checkpoint_captures = 0
         self.checkpoint_restores = 0
 
+        # Sampled-simulation accounting (published as the sampling.*
+        # obs series by repro.obs.collect.collect_sampling).
+        self.sampling_runs = 0
+        self.sampling_windows = 0
+        self.sampling_checkpoints = 0
+        self.sampling_survey_steps = 0
+        self.sampling_ff_steps = 0
+        self.sampling_ramp_steps = 0
+        self.sampling_measured_steps = 0
+
         # Telemetry (repro.obs): cycle-stamped control-plane events plus
         # per-point metrics snapshots.  Disabled, both are no-ops.
         self.obs_enabled = obs
@@ -289,9 +299,13 @@ class Simulator:
         """ArchState protocol: name -> seeded RNG holder."""
         return {"icache": self.icache.cache, "dcache": self.dcache.cache}
 
-    def capture_state(self) -> ArchState:
-        """Checkpoint the current architectural state."""
-        state = ArchState.capture(self)
+    def capture_state(self, engine=None) -> ArchState:
+        """Checkpoint the current architectural state.
+
+        *engine* optionally names the executor whose position to
+        capture (a functional/translated unit mid fast-forward) — see
+        :meth:`ArchState.capture`."""
+        state = ArchState.capture(self, engine=engine)
         self.checkpoint_captures += 1
         self.events.record(self.cpu.cycles, "checkpoint",
                            retired=state.retired)
@@ -350,14 +364,14 @@ class Simulator:
     def run(self, image: Image | None = None,
             max_instructions: int = 50_000_000, *,
             fast_forward: int = 0,
-            warmup_engine: str = "fast",
+            warmup_engine: str = "translated",
             from_checkpoint: ArchState | None = None) -> SimReport:
         """Boot, dispatch *image*, run it to completion, report.
 
         Two-speed execution: with ``fast_forward=N``, the boot sequence
-        and the program's first N steps execute on the functional fast
-        path (``warmup_engine="translated"`` adds the basic-block
-        translation cache on top — fastest; ``"accurate"`` keeps them
+        and the program's first N steps execute on the block-translating
+        fast path (``warmup_engine="fast"`` uses single-instruction
+        functional dispatch instead; ``"accurate"`` keeps them
         cycle-accurate — the differential baseline), then the machine is
         normalized
         (caches flushed, statistics zeroed) and handed to the
@@ -440,6 +454,36 @@ class Simulator:
             obs=obs,
             fastpath=fastpath,
         )
+
+    def run_sampled(self, image: Image, plan,
+                    max_instructions: int = 50_000_000):
+        """SMARTS-style sampled run: execute *image* under *plan* (a
+        :class:`~repro.core.sampling.SamplingPlan`) — translated
+        fast-forward between checkpointed, cycle-accurate measurement
+        windows — and return the :class:`~repro.core.sampling.SampledRun`
+        carrying per-window observations and CLT confidence intervals.
+
+        The measurement itself runs in fresh simulators built from this
+        one's config (a pure function of ``(image, config, plan)``);
+        this simulator accumulates the ``sampling.*`` accounting so its
+        obs snapshots cover the sampled work.
+        """
+        from repro.core.sampling import SampledRunner
+
+        runner = SampledRunner(self.config)
+        run = runner.run(image, plan, max_instructions=max_instructions)
+        counters = runner.counters
+        self.sampling_runs += counters["runs"]
+        self.sampling_windows += counters["windows"]
+        self.sampling_checkpoints += counters["checkpoints"]
+        self.sampling_survey_steps += counters["survey_steps"]
+        self.sampling_ff_steps += counters["ff_steps"]
+        self.sampling_ramp_steps += counters["ramp_steps"]
+        self.sampling_measured_steps += counters["measured_steps"]
+        self.events.record(self.cpu.cycles, "sampled",
+                           windows=len(run.windows),
+                           estimated_cycles=round(run.estimated_cycles))
+        return run
 
     def run_functional(self, image: Image,
                        max_instructions: int = 50_000_000) -> SimReport:

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ArchitectureConfig
+from repro.core.sampling import SampledRunner, SamplingPlan
 from repro.core.sim import Simulator
 from repro.core.synthesis import SynthesisModel
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
@@ -49,7 +50,10 @@ from repro.toolchain.objfile import Image
 #: v4: checkpoint-building warmups run on the block-translating engine
 #: (architecturally identical, but conservatively invalidate anything
 #: produced before the translator existed).
-SCHEMA_VERSION = 4
+#: v5: sampled sweeps (``sweep(sampling=...)``): records may carry a
+#: ``sampled`` section (point estimate + CI + per-window observations),
+#: and every point snapshot gains the ``sampling.*`` counter series.
+SCHEMA_VERSION = 5
 
 #: Layout version of persisted warmed checkpoints (see
 #: :meth:`ResultCache.put_checkpoint`); the wrapped
@@ -102,6 +106,11 @@ class SweepPoint:
     #: from simulation-derived counters, so it is part of the
     #: determinism contract and persists with the cached record.
     obs: dict
+    #: Sampled-simulation section (``SampledRun.to_record()``) for
+    #: points evaluated under a :class:`SamplingPlan`: point estimate,
+    #: confidence intervals and per-window observations.  ``None`` for
+    #: full-detail points.
+    sampled: dict | None
     #: 'simulated' | 'memory' | 'disk' — where this point came from.
     source: str
     #: Host seconds spent producing the point (≈0 for cache hits).
@@ -119,7 +128,7 @@ class SweepPoint:
     def report_fields(self) -> dict:
         """Everything the simulation measured — the identity-relevant
         fields, excluding provenance (``source``) and host timing."""
-        return {
+        fields = {
             "image_digest": self.image_digest,
             "fingerprint": self.fingerprint,
             "config_key": self.config.key(),
@@ -136,6 +145,9 @@ class SweepPoint:
             "block_rams": self.block_rams,
             "obs": self.obs,
         }
+        if self.sampled is not None:
+            fields["sampled"] = self.sampled
+        return fields
 
     def canonical_json(self) -> str:
         """Byte-stable serialization of :meth:`report_fields` — equality
@@ -302,7 +314,59 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _evaluate_task(task: tuple[ArchitectureConfig, Image, int, dict | None]
+def _sampled_record(config: ArchitectureConfig, run, runner,
+                    counters: dict, utilization) -> dict:
+    """The cacheable record of one sampled point.  *counters* is the
+    per-run slice of the runner's accounting — a fresh runner's totals,
+    or a shared runner's delta; both publish identical values because
+    the counters are derived from the run, not from memo hits."""
+    registry = MetricsRegistry()
+    runner.publish_obs(registry, counters=counters)
+    return {
+        "schema": SCHEMA_VERSION,
+        "config_key": config.key(),
+        "cycles": int(round(run.estimated_cycles)),
+        "instructions": run.total_instructions,
+        "instruction_mix": run.instruction_mix(),
+        "dcache": run.cache_totals("dcache"),
+        "icache": run.cache_totals("icache"),
+        "result_word": run.result_word,
+        "uart_hex": run.uart_hex,
+        "frequency_mhz": utilization.frequency_mhz,
+        "slices": utilization.slices,
+        "block_rams": utilization.block_rams,
+        "obs": registry.snapshot(),
+        "sampled": run.to_record(),
+    }
+
+
+def _evaluate_sampled_shared(tasks) -> "Iterable[tuple[dict, float]]":
+    """Serial sampled evaluation: one :class:`SampledRunner` per
+    (image, architectural family), so every config point of a family
+    shares the memoised survey and checkpoint passes and pays only for
+    its own cycle-accurate measure phase.  Records stay byte-identical
+    to the parallel path (which rebuilds the passes per worker): the
+    shared passes are architectural, and obs counters are published as
+    per-run deltas."""
+    runners: dict[tuple[int, str], SampledRunner] = {}
+    for config, image, max_instructions, _, sampling in tasks:
+        start = time.perf_counter()
+        utilization = SynthesisModel().estimate(config)
+        key = (id(image), config.arch_key())
+        runner = runners.get(key)
+        if runner is None:
+            runner = runners[key] = SampledRunner(config)
+        before = dict(runner.counters)
+        run = runner.run(image, sampling,
+                         max_instructions=max_instructions, config=config)
+        delta = {name: runner.counters[name] - before[name]
+                 for name in before}
+        record = _sampled_record(config, run, runner, delta, utilization)
+        yield record, time.perf_counter() - start
+
+
+def _evaluate_task(task: tuple[ArchitectureConfig, Image, int, dict | None,
+                               SamplingPlan | None]
                    ) -> tuple[dict, float]:
     """Simulate one point; returns (cacheable record, wall seconds).
 
@@ -314,9 +378,25 @@ def _evaluate_task(task: tuple[ArchitectureConfig, Image, int, dict | None]
     simulator restores it and measures only from there — the two-speed
     fast path.  The payload travels to worker processes as a plain dict,
     which is what keeps this function picklable.
+
+    When *sampling* (a :class:`SamplingPlan`, frozen and picklable) is
+    present, the whole sampled run is rebuilt in-process from
+    ``(config, image, plan)`` — nothing host-dependent ships to the
+    worker, which is what makes serial and parallel sampled sweeps
+    byte-identical.  ``cycles`` becomes the rounded point estimate,
+    ``instructions`` stays exact (the survey pass measured it), and the
+    full estimate (CI, windows, phases) lands in the record's
+    ``sampled`` section.
     """
-    config, image, max_instructions, checkpoint = task
+    config, image, max_instructions, checkpoint, sampling = task
     start = time.perf_counter()
+    utilization = SynthesisModel().estimate(config)
+    if sampling is not None:
+        runner = SampledRunner(config)
+        run = runner.run(image, sampling, max_instructions=max_instructions)
+        record = _sampled_record(config, run, runner, runner.counters,
+                                 utilization)
+        return record, time.perf_counter() - start
     sim = Simulator(config, capture_memory_trace=False)
     if checkpoint is not None:
         from repro.cpu.archstate import ArchState
@@ -325,7 +405,6 @@ def _evaluate_task(task: tuple[ArchitectureConfig, Image, int, dict | None]
                          from_checkpoint=ArchState.from_payload(checkpoint))
     else:
         report = sim.run(image, max_instructions=max_instructions)
-    utilization = SynthesisModel().estimate(config)
     record = {
         "schema": SCHEMA_VERSION,
         "config_key": config.key(),
@@ -546,7 +625,8 @@ class SweepRunner:
     def sweep(self, space: Iterable[ArchitectureConfig],
               images: Image | Sequence[Image],
               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-              fast_forward: int = 0) -> SweepOutcome:
+              fast_forward: int = 0,
+              sampling: SamplingPlan | None = None) -> SweepOutcome:
         """Evaluate every (image, config) pair; image-major order.
 
         ``fast_forward > 0`` switches every point to two-speed mode:
@@ -556,10 +636,21 @@ class SweepRunner:
         after it on the cycle-accurate engine.  Fingerprints gain a
         ``-ff<N>`` suffix, so windowed results never collide with
         whole-program records in the :class:`ResultCache`.
+
+        ``sampling=`` (a :class:`~repro.core.sampling.SamplingPlan`)
+        switches every point to *sampled* mode instead: cycle estimates
+        with confidence intervals from checkpointed measurement windows,
+        at a fraction of the full-detail cost.  Fingerprints gain the
+        plan's token, so sampled records never collide with exact ones.
+        The two modes are mutually exclusive — a sampled run does its
+        own fast-forwarding.
         """
         started = time.perf_counter()
         if fast_forward < 0:
             raise ValueError("fast_forward must be >= 0")
+        if sampling is not None and fast_forward:
+            raise ValueError(
+                "sampling and fast_forward are mutually exclusive")
         configs = list(space)
         if isinstance(images, Image):
             images = [images]
@@ -569,7 +660,10 @@ class SweepRunner:
             raise ValueError("sweep needs at least one config and one image")
 
         # Deterministic work list: (index, image, digest, config, fp).
-        suffix = f"-ff{fast_forward}" if fast_forward else ""
+        if sampling is not None:
+            suffix = f"-{sampling.fingerprint_token()}"
+        else:
+            suffix = f"-ff{fast_forward}" if fast_forward else ""
         entries = []
         for image in images:
             digest = image_digest(image)
@@ -601,7 +695,7 @@ class SweepRunner:
                     image, digest, config, fast_forward, stats)
 
         tasks = [(config, image, max_instructions,
-                  checkpoints.get((digest, config.arch_key())))
+                  checkpoints.get((digest, config.arch_key())), sampling)
                  for index, image, digest, config, _ in entries
                  if index not in cached]
 
@@ -638,6 +732,7 @@ class SweepRunner:
                      max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                      seed: int = 0,
                      fast_forward: int = 0,
+                     sampling: SamplingPlan | None = None,
                      analyze: bool = False) -> MatrixOutcome:
         """Evaluate every (workload, config) pair of the matrix.
 
@@ -649,7 +744,10 @@ class SweepRunner:
         every point persists through the runner's :class:`ResultCache`
         exactly like a plain sweep — a re-run of the same matrix is all
         cache hits and a byte-identical
-        :meth:`MatrixOutcome.canonical_json`.
+        :meth:`MatrixOutcome.canonical_json`.  ``sampling=`` evaluates
+        every cell in sampled mode (cycle estimates with confidence
+        intervals); each cell still self-checks — the RESULT word comes
+        from the survey pass, which runs the whole program exactly.
 
         ``analyze=True`` additionally runs the machine-code verifier
         once per workload image, stores the reports on
@@ -675,7 +773,8 @@ class SweepRunner:
                 collect_analysis(diag, self.obs)
             outcome = self.sweep(configs, workload.image(seed),
                                  max_instructions=max_instructions,
-                                 fast_forward=fast_forward)
+                                 fast_forward=fast_forward,
+                                 sampling=sampling)
             for point in outcome.points:
                 cells.append(MatrixCell(
                     workload=workload.name, wclass=workload.wclass,
@@ -733,6 +832,11 @@ class SweepRunner:
         if not tasks:
             return iter(())
         if self.workers <= 1:
+            if tasks[0][4] is not None:
+                # All tasks of one sweep share the same sampling plan;
+                # the shared path amortizes survey/checkpoint passes
+                # across each (image, family) group.
+                return _evaluate_sampled_shared(tasks)
             return map(_evaluate_task, tasks)
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(tasks)))
 
@@ -765,6 +869,7 @@ class SweepRunner:
             slices=record["slices"],
             block_rams=record["block_rams"],
             obs=record.get("obs", {}),
+            sampled=record.get("sampled"),
             source=source,
             wall_seconds=wall_seconds,
         )

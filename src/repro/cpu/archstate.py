@@ -79,9 +79,21 @@ class ArchState:
     # ------------------------------------------------------------------
 
     @classmethod
-    def capture(cls, sim) -> "ArchState":
-        """Snapshot *sim*'s architectural state (plus RNG cursors)."""
-        cpu = sim.cpu
+    def capture(cls, sim, engine=None) -> "ArchState":
+        """Snapshot *sim*'s architectural state (plus RNG cursors).
+
+        *engine* names an alternative executor to read the private
+        per-engine fields (PC/nPC/annul, halt state, retirement and trap
+        counters) from — e.g. a functional or translated unit mid
+        fast-forward, whose registers/control/ASRs are shared with
+        ``sim.cpu`` by reference but whose position is its own.  With an
+        explicit engine the retired count is the engine's alone (it
+        executed everything); without one it is ``cpu.instret`` plus the
+        host's already-folded ``fastpath_retired`` share, as before.
+        """
+        cpu = engine if engine is not None else sim.cpu
+        extra = 0 if engine is not None else getattr(
+            sim, "fastpath_retired", 0)
         regs = cpu.regs.state()
         return cls(
             nwindows=cpu.regs.nwindows,
@@ -98,7 +110,7 @@ class ArchState:
             globals_=tuple(regs["globals"]),
             window_regs=tuple(regs["window_regs"]),
             asr=dict(cpu.asr),
-            retired=cpu.instret + getattr(sim, "fastpath_retired", 0),
+            retired=cpu.instret + extra,
             traps_taken=cpu.trap_count,
             memory={name: bytes(buffer)
                     for name, buffer in sim.checkpoint_memory().items()},

@@ -23,6 +23,7 @@ from repro.workloads import crypto as _crypto          # noqa: E402,F401
 from repro.workloads import dsp as _dsp                # noqa: E402,F401
 from repro.workloads import packet as _packet          # noqa: E402,F401
 from repro.workloads import sortsearch as _sortsearch  # noqa: E402,F401
+from repro.workloads import longrun as _longrun        # noqa: E402,F401
 
 __all__ = [
     "CLASSES",

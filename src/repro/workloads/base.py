@@ -63,6 +63,10 @@ class Workload:
     takes_window_traps: bool = False
     #: Instruction budget that comfortably covers one run.
     max_instructions: int = 2_000_000
+    #: Long-running variant (~1M+ steps) meant for sampled simulation
+    #: and throughput benchmarks.  Excluded from :func:`all_workloads`
+    #: by default so difftest/matrix consumers keep their fast set.
+    long_running: bool = False
 
     # ------------------------------------------------------------------
 
@@ -190,15 +194,21 @@ def get(name: str) -> Workload:
                        f"(have {sorted(REGISTRY)})") from None
 
 
-def all_workloads() -> list[Workload]:
-    """Every registered workload, in registration order."""
-    return list(REGISTRY.values())
+def all_workloads(include_long: bool = False) -> list[Workload]:
+    """Every registered workload, in registration order.
+
+    Long-running kernels (``long_running=True``) are excluded unless
+    *include_long* is set — they exist for sampled simulation and
+    benchmarks, not for the fast difftest/matrix set.
+    """
+    return [w for w in REGISTRY.values()
+            if include_long or not w.long_running]
 
 
-def by_class() -> dict[str, list[Workload]]:
+def by_class(include_long: bool = False) -> dict[str, list[Workload]]:
     """Registered workloads grouped by class, registration order kept."""
     grouped: dict[str, list[Workload]] = {}
-    for workload in REGISTRY.values():
+    for workload in all_workloads(include_long=include_long):
         grouped.setdefault(workload.wclass, []).append(workload)
     return grouped
 

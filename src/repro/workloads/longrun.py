@@ -1,0 +1,427 @@
+"""Long-running workloads for sampled simulation.
+
+The registry kernels finish in 5k–60k steps — small enough that full
+cycle-accurate simulation is instant, which leaves nothing for sampled
+simulation to accelerate.  These kernels stream the same inner loops as
+their short siblings over many passes (~1M+ steps each), giving the
+:class:`~repro.core.sampling.SampledRunner` a realistic target: long
+steady-state regions where translated fast-forward dominates and a few
+cycle-accurate windows suffice.
+
+All three carry ``long_running=True`` and are therefore excluded from
+:func:`~repro.workloads.base.all_workloads` by default — difftest and
+the matrix sweeps keep their fast set, while ``bench_sampling`` and the
+sampling tests opt in via ``include_long=True`` / :func:`get`.
+
+Each pass feeds back into the input data (re-encrypt in place, write
+filtered samples back, mutate TTLs and re-checksum), so no pass is a
+repeat of the previous one and the digest depends on every pass.
+"""
+
+from __future__ import annotations
+
+from repro.utils import u32
+from repro.workloads.base import (
+    Workload,
+    c_array,
+    mix_digest,
+    register,
+    rng_for,
+)
+
+# ---------------------------------------------------------------------------
+# xtea_stream: XTEA re-encrypting a buffer over many passes
+# ---------------------------------------------------------------------------
+
+_DELTA = 0x9E3779B9
+_XS_BLOCKS = 8            # pairs of 32-bit words
+_XS_PASSES = 64
+_XS_ROUNDS = 32
+_XS_DIGEST_REPS = 9       # sized so odd passes roughly match even ones
+
+_XS_TEMPLATE = """\
+/* XTEA stream: re-encrypt {blocks} blocks in place for {passes} passes.
+   Odd passes run a byte-wise serialization digest instead of the
+   cipher: the two pass types have different instruction mixes, so a
+   sampled window's CPI depends on where it lands — the program-level
+   phase behaviour sampled simulation exists to measure. */
+{v_init}
+
+{key_init}
+
+int main(void) {{
+    unsigned p;
+    unsigned b;
+    unsigned i;
+    unsigned h = 0;
+    for (p = 0; p < {passes}; p++) {{
+        if (p & 1) {{
+            for (i = 0; i < {digest_reps}; i++) {{
+                for (b = 0; b < {words}; b++) {{
+                    unsigned word = v[b];
+                    unsigned j;
+                    for (j = 0; j < 4; j++) {{
+                        h = ((h << 5) | (h >> 27))
+                            ^ ((word >> (j * 8)) & 0xFF);
+                    }}
+                }}
+            }}
+        }} else {{
+            for (b = 0; b < {words}; b += 2) {{
+                unsigned v0 = v[b];
+                unsigned v1 = v[b + 1];
+                unsigned sum = 0;
+                for (i = 0; i < {rounds}; i++) {{
+                    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1)
+                        ^ (sum + key[sum & 3]);
+                    sum += {delta}u;
+                    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0)
+                        ^ (sum + key[(sum >> 11) & 3]);
+                }}
+                v[b] = v0;
+                v[b + 1] = v1;
+            }}
+            h = ((h << 5) | (h >> 27)) ^ v[p & {wmask}];
+        }}
+    }}
+    for (i = 0; i < {words}; i++) {{
+        h = ((h << 5) | (h >> 27)) ^ v[i];
+    }}
+    return (int)h;
+}}
+"""
+
+
+def _xs_generate(seed: int) -> dict:
+    rng = rng_for("xtea_stream", seed)
+    return {
+        "v": [rng.getrandbits(32) for _ in range(2 * _XS_BLOCKS)],
+        "key": [rng.getrandbits(32) for _ in range(4)],
+    }
+
+
+def _xs_render(data: dict) -> str:
+    return _XS_TEMPLATE.format(
+        blocks=_XS_BLOCKS,
+        words=len(data["v"]),
+        wmask=len(data["v"]) - 1,
+        passes=_XS_PASSES,
+        rounds=_XS_ROUNDS,
+        digest_reps=_XS_DIGEST_REPS,
+        delta=_DELTA,
+        v_init=c_array("unsigned", "v", data["v"], per_line=4),
+        key_init=c_array("unsigned", "key", data["key"], per_line=4),
+    )
+
+
+def _xs_reference(data: dict) -> int:
+    v = list(data["v"])
+    key = data["key"]
+    digest = 0
+    for p in range(_XS_PASSES):
+        if p & 1:
+            for _ in range(_XS_DIGEST_REPS):
+                for word in v:
+                    for j in range(4):
+                        digest = mix_digest(digest, (word >> (j * 8)) & 0xFF)
+        else:
+            for b in range(0, len(v), 2):
+                v0, v1 = v[b], v[b + 1]
+                total = 0
+                for _ in range(_XS_ROUNDS):
+                    v0 = u32(v0 + ((u32(v1 << 4) ^ (v1 >> 5)) + v1
+                                   ^ u32(total + key[total & 3])))
+                    total = u32(total + _DELTA)
+                    v1 = u32(v1 + ((u32(v0 << 4) ^ (v0 >> 5)) + v0
+                                   ^ u32(total + key[(total >> 11) & 3])))
+                v[b], v[b + 1] = v0, v1
+            digest = mix_digest(digest, v[p & (len(v) - 1)])
+    for word in v:
+        digest = mix_digest(digest, word)
+    return digest
+
+
+register(Workload(
+    name="xtea_stream",
+    wclass="crypto",
+    description=f"XTEA encrypt / byte-digest alternating passes over "
+                f"{_XS_BLOCKS} blocks, {_XS_PASSES} passes (~1M steps)",
+    sweep_axis="pipeline_depth",
+    generate=_xs_generate,
+    render=_xs_render,
+    reference=_xs_reference,
+    footprint=lambda data: 4 * (len(data["v"]) + len(data["key"])),
+    max_instructions=4_000_000,
+    long_running=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# fir_stream: circular FIR with filtered samples fed back into the signal
+# ---------------------------------------------------------------------------
+
+_FS_SAMPLES = 96
+_FS_TAPS = 12
+_FS_PASSES = 26
+
+_FS_TEMPLATE = """\
+/* FIR stream: {taps}-tap circular convolution, {passes} passes with
+   filtered-sample feedback. */
+{x_init}
+
+{h_init}
+
+int main(void) {{
+    int p;
+    int n;
+    int k;
+    int wi = 0;
+    unsigned acc = 0;
+    for (p = 0; p < {passes}; p++) {{
+        for (n = 0; n < {samples}; n++) {{
+            int s = 0;
+            for (k = 0; k < {taps}; k++) {{
+                int idx = n - k;
+                if (idx < 0) {{
+                    idx += {samples};
+                }}
+                s += h[k] * x[idx];
+            }}
+            acc = ((acc << 5) | (acc >> 27)) ^ (unsigned)s;
+        }}
+        x[wi] = (int)(acc & 0x7FF) - 1024;
+        wi++;
+        if (wi >= {samples}) {{
+            wi = 0;
+        }}
+    }}
+    return (int)acc;
+}}
+"""
+
+
+def _fs_generate(seed: int) -> dict:
+    rng = rng_for("fir_stream", seed)
+    return {
+        "x": [rng.randint(-4096, 4096) for _ in range(_FS_SAMPLES)],
+        "h": [rng.randint(-64, 64) for _ in range(_FS_TAPS)],
+    }
+
+
+def _fs_render(data: dict) -> str:
+    return _FS_TEMPLATE.format(
+        samples=len(data["x"]), taps=len(data["h"]), passes=_FS_PASSES,
+        x_init=c_array("int", "x", data["x"]),
+        h_init=c_array("int", "h", data["h"]),
+    )
+
+
+def _fs_reference(data: dict) -> int:
+    x, h = list(data["x"]), data["h"]
+    samples = len(x)
+    digest = 0
+    wi = 0
+    for _ in range(_FS_PASSES):
+        for n in range(samples):
+            s = 0
+            for k in range(len(h)):
+                idx = n - k
+                if idx < 0:
+                    idx += samples
+                s += h[k] * x[idx]
+            digest = mix_digest(digest, s)
+        x[wi] = (digest & 0x7FF) - 1024
+        wi = (wi + 1) % samples
+    return digest
+
+
+register(Workload(
+    name="fir_stream",
+    wclass="dsp",
+    description=f"{_FS_TAPS}-tap circular FIR over {_FS_SAMPLES} samples, "
+                f"{_FS_PASSES} feedback passes (~1M steps)",
+    sweep_axis="multiplier",
+    generate=_fs_generate,
+    render=_fs_render,
+    reference=_fs_reference,
+    footprint=lambda data: 4 * (len(data["x"]) + len(data["h"])),
+    max_instructions=4_000_000,
+    long_running=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# ipsum_stream: TTL decrement + checksum rewrite over a header batch
+# ---------------------------------------------------------------------------
+
+_IS_NPACKETS = 32
+_IS_PASSES = 64
+_IS_HDR = 20
+_IS_CLASSIFY_REPS = 4     # sized so odd passes roughly match even ones
+
+
+def _is_checksum(header: list[int]) -> int:
+    total = 0
+    for w in range(0, _IS_HDR, 2):
+        total += (header[w] << 8) | header[w + 1]
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+_IS_TEMPLATE = """\
+/* IP forwarding stream over {npackets} headers, {passes} passes.
+   Even passes forward: verify checksum, decrement TTL, re-checksum
+   (load/store heavy).  Odd passes classify: protocol/fragment
+   counting with a shift-mix digest (branchy, few stores).  The two
+   phases give sampled windows honest CPI variance.  Checksums are
+   inlined: call/ret pairs force the block translator into interpreted
+   fallback steps, and this kernel exists to exercise the fast path. */
+{pkt_init}
+
+int main(void) {{
+    unsigned p;
+    unsigned n;
+    unsigned w;
+    unsigned r;
+    unsigned h = 0;
+    for (p = 0; p < {passes}; p++) {{
+        if (p & 1) {{
+            for (r = 0; r < {classify_reps}; r++) {{
+                for (n = 0; n < {npackets}; n++) {{
+                    unsigned base = n * {hdr};
+                    unsigned proto = pkt[base + 9];
+                    unsigned ttl = pkt[base + 8];
+                    unsigned mixed = (proto << 8) | ttl;
+                    if (proto == 6) {{
+                        mixed ^= 0x5A5A;
+                    }} else if (proto == 17) {{
+                        mixed ^= 0xA5A5;
+                    }} else {{
+                        mixed ^= 0x0F0F;
+                    }}
+                    for (w = 0; w < 8; w++) {{
+                        mixed = (mixed << 1) ^ ((mixed >> 15) & 1);
+                    }}
+                    h = ((h << 5) | (h >> 27)) ^ (mixed + n);
+                }}
+            }}
+        }} else {{
+            for (n = 0; n < {npackets}; n++) {{
+                unsigned base = n * {hdr};
+                unsigned sum = 0;
+                unsigned ttl;
+                for (w = 0; w < {hdr}; w += 2) {{
+                    sum += ((unsigned)pkt[base + w] << 8)
+                        | pkt[base + w + 1];
+                }}
+                sum = (sum & 0xFFFF) + (sum >> 16);
+                sum = (sum & 0xFFFF) + (sum >> 16);
+                h = ((h << 5) | (h >> 27)) ^ (sum + (p << 16) + n);
+                ttl = pkt[base + 8];
+                if (ttl == 0) {{
+                    ttl = 64;
+                }} else {{
+                    ttl = ttl - 1;
+                }}
+                pkt[base + 8] = ttl;
+                pkt[base + 10] = 0;
+                pkt[base + 11] = 0;
+                sum = 0;
+                for (w = 0; w < {hdr}; w += 2) {{
+                    sum += ((unsigned)pkt[base + w] << 8)
+                        | pkt[base + w + 1];
+                }}
+                sum = (sum & 0xFFFF) + (sum >> 16);
+                sum = (sum & 0xFFFF) + (sum >> 16);
+                sum = 0xFFFF ^ sum;
+                pkt[base + 10] = sum >> 8;
+                pkt[base + 11] = sum & 0xFF;
+            }}
+        }}
+    }}
+    return (int)h;
+}}
+"""
+
+
+def _is_generate(seed: int) -> dict:
+    rng = rng_for("ipsum_stream", seed)
+    packets: list[int] = []
+    for _ in range(_IS_NPACKETS):
+        header = [0] * _IS_HDR
+        header[0] = 0x45
+        header[1] = rng.getrandbits(8)
+        length = rng.randint(_IS_HDR, 1500)
+        header[2], header[3] = length >> 8, length & 0xFF
+        ident = rng.getrandbits(16)
+        header[4], header[5] = ident >> 8, ident & 0xFF
+        header[8] = rng.randint(0, 64)
+        header[9] = rng.choice([6, 6, 17, 17, 1, 47, 89])
+        for i in range(12, 20):
+            header[i] = rng.getrandbits(8)
+        checksum = 0xFFFF ^ _is_checksum(header)
+        header[10], header[11] = checksum >> 8, checksum & 0xFF
+        packets.extend(header)
+    return {"pkt": packets}
+
+
+def _is_render(data: dict) -> str:
+    return _IS_TEMPLATE.format(
+        npackets=len(data["pkt"]) // _IS_HDR, hdr=_IS_HDR,
+        passes=_IS_PASSES, classify_reps=_IS_CLASSIFY_REPS,
+        pkt_init=c_array("unsigned char", "pkt", data["pkt"], per_line=10),
+    )
+
+
+def _is_reference(data: dict) -> int:
+    pkt = list(data["pkt"])
+    digest = 0
+    for p in range(_IS_PASSES):
+        if p & 1:
+            for _ in range(_IS_CLASSIFY_REPS):
+                for n in range(len(pkt) // _IS_HDR):
+                    base = n * _IS_HDR
+                    proto = pkt[base + 9]
+                    ttl = pkt[base + 8]
+                    mixed = (proto << 8) | ttl
+                    if proto == 6:
+                        mixed ^= 0x5A5A
+                    elif proto == 17:
+                        mixed ^= 0xA5A5
+                    else:
+                        mixed ^= 0x0F0F
+                    for _ in range(8):
+                        mixed = u32(mixed << 1) ^ ((mixed >> 15) & 1)
+                    digest = mix_digest(digest, mixed + n)
+        else:
+            for n in range(len(pkt) // _IS_HDR):
+                base = n * _IS_HDR
+                header = pkt[base:base + _IS_HDR]
+                total = _is_checksum(header)
+                digest = mix_digest(digest, total + (p << 16) + n)
+                ttl = header[8]
+                ttl = 64 if ttl == 0 else ttl - 1
+                pkt[base + 8] = ttl
+                pkt[base + 10] = 0
+                pkt[base + 11] = 0
+                header = pkt[base:base + _IS_HDR]
+                checksum = 0xFFFF ^ _is_checksum(header)
+                pkt[base + 10] = checksum >> 8
+                pkt[base + 11] = checksum & 0xFF
+    return digest
+
+
+register(Workload(
+    name="ipsum_stream",
+    wclass="packet",
+    description=f"IP forward / classify alternating passes over "
+                f"{_IS_NPACKETS} headers, {_IS_PASSES} passes (~1M steps)",
+    sweep_axis="dcache_size",
+    generate=_is_generate,
+    render=_is_render,
+    reference=_is_reference,
+    footprint=lambda data: len(data["pkt"]),
+    max_instructions=4_000_000,
+    long_running=True,
+))

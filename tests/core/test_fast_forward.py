@@ -16,6 +16,7 @@ import json
 import pytest
 
 from repro.core.config import ArchitectureConfig
+from repro.core.sampling import SamplingPlan
 from repro.core.sim import Simulator
 from repro.core.sweep import ResultCache, SweepRunner
 from repro.obs.collect import simulator_snapshot
@@ -207,3 +208,125 @@ class TestSweepFastForward:
     def test_negative_fast_forward_rejected(self, image):
         with pytest.raises(ValueError):
             SweepRunner().sweep(self.CONFIGS, image, fast_forward=-5)
+
+
+class TestWarmupEngineDefault:
+    """``run`` historically defaulted to ``"fast"`` while ``checkpoint``
+    defaulted to ``"translated"`` — the same nominal warmup took
+    different engines depending on the entry point.  Both now default to
+    ``"translated"``, and the regression is pinned at both the signature
+    and the behaviour level."""
+
+    def test_defaults_are_unified(self):
+        import inspect
+
+        run_default = inspect.signature(
+            Simulator.run).parameters["warmup_engine"].default
+        checkpoint_default = inspect.signature(
+            Simulator.checkpoint).parameters["warmup_engine"].default
+        assert run_default == checkpoint_default == "translated"
+
+    def test_default_run_lands_on_the_checkpoint_state(self, image):
+        """run(fast_forward=N) with the default engine must produce the
+        exact window that resuming checkpoint(N)'s state does."""
+        defaulted = Simulator(capture_memory_trace=False).run(
+            image, fast_forward=WARMUP)
+        warm = Simulator(capture_memory_trace=False)
+        state = warm.checkpoint(image, WARMUP)
+        resumed = Simulator(capture_memory_trace=False).run(
+            from_checkpoint=state)
+        assert _canonical(defaulted) == _canonical(resumed)
+        assert defaulted.fastpath["warmup_engine"] == "translated"
+
+
+class TestSweepSampling:
+    """Satellite determinism contract: identical (image, plan, seed)
+    must yield byte-identical sampled records serially, in parallel
+    workers, and on a ResultCache re-run."""
+
+    CONFIGS = [ArchitectureConfig().with_dcache_size(size)
+               for size in (1024, 4096)]
+    PLAN = SamplingPlan(n_windows=3, window_length=400, ramp_length=256,
+                        seed=5)
+
+    def test_serial_parallel_and_rerun_are_byte_identical(
+            self, image, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        serial = runner.sweep(self.CONFIGS, image, sampling=self.PLAN)
+        parallel = SweepRunner(workers=2).sweep(
+            self.CONFIGS, image, sampling=self.PLAN)
+        rerun = SweepRunner(cache=ResultCache(tmp_path)).sweep(
+            self.CONFIGS, image, sampling=self.PLAN)
+        assert rerun.stats.simulated == 0  # served entirely from disk
+        for a, b, c in zip(serial.points, parallel.points, rerun.points):
+            assert a.canonical_json() == b.canonical_json()
+            assert a.canonical_json() == c.canonical_json()
+            assert a.sampled is not None
+            assert a.sampled == b.sampled == c.sampled
+
+    def test_sampled_points_match_direct_runs(self, image):
+        outcome = SweepRunner().sweep([self.CONFIGS[0]], image,
+                                      sampling=self.PLAN)
+        point = outcome.points[0]
+        direct = Simulator(self.CONFIGS[0],
+                           capture_memory_trace=False).run_sampled(
+            image, self.PLAN)
+        assert point.sampled["estimated_cycles"] == direct.estimated_cycles
+        assert point.cycles == int(round(direct.estimated_cycles))
+        assert point.instructions == direct.total_instructions
+        assert point.fingerprint.endswith(
+            f"-{self.PLAN.fingerprint_token()}")
+        assert "sampling.runs" in point.obs["counters"]
+
+    def test_sampling_excludes_fast_forward(self, image):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SweepRunner().sweep(self.CONFIGS, image,
+                                fast_forward=WARMUP, sampling=self.PLAN)
+
+    def test_full_detail_and_sampled_never_collide(self, image, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        sampled = runner.sweep([self.CONFIGS[0]], image, sampling=self.PLAN)
+        whole = runner.sweep([self.CONFIGS[0]], image)
+        assert whole.stats.simulated == 1
+        assert (sampled.points[0].fingerprint
+                != whole.points[0].fingerprint)
+        assert whole.points[0].sampled is None
+
+
+class TestCheckpointResumedWindows:
+    """A window measured from a restored mid-program ArchState must be
+    byte-identical to the same window reached by stepping straight
+    through on the accurate engine — the checkpoint carries everything
+    architectural, and the canonical handoff state covers the rest."""
+
+    def test_resumed_equals_straight_through(self, image):
+        from repro.core.sampling import (SampledRunner, head_spec,
+                                         measure_window, place_windows)
+
+        plan = SamplingPlan(n_windows=2, window_length=400,
+                            ramp_length=256, seed=2)
+        runner = SampledRunner()
+        run = runner.run(image, plan)
+        assert run.windows, "plan must place at least one window"
+
+        survey = runner._survey(image, 50_000_000)
+        head = head_spec(survey["steps"], plan)
+        _, specs = place_windows(survey["steps"], plan, start=head.end)
+
+        sim = Simulator(capture_memory_trace=False, obs=False)
+        cpu = sim._boot_and_dispatch(image, "accurate")
+        poll = sim.rom_info.poll_address
+        position = 0
+        for spec, resumed in zip(specs, run.windows):
+            budget = spec.ramp_start - position
+            steps = 0
+            while steps < budget and cpu.pc != poll:
+                cpu.step()
+                steps += 1
+            position = spec.ramp_start
+            sim._normalize_window_start()
+            straight = measure_window(sim, spec, poll)
+            position = spec.end
+            assert straight == resumed

@@ -216,7 +216,7 @@ class TestResultCache:
         files = sorted(digest_dir.glob("*.json"))
         assert len(files) == space.size
         record = json.loads(files[0].read_text())
-        assert record["schema"] == 4
+        assert record["schema"] == 5
         assert record["cycles"] > 0
 
     def test_corrupt_disk_record_is_a_miss(self, image, tmp_path):
